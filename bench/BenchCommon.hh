@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared driver for the per-figure bench binaries: run one benchmark
+ * across the four configurations, print the paper's two figure
+ * tables, and verify the modes agree semantically.
+ */
+
+#ifndef SAN_BENCH_BENCH_COMMON_HH
+#define SAN_BENCH_BENCH_COMMON_HH
+
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "apps/RunConfig.hh"
+#include "harness/Report.hh"
+
+namespace san::bench {
+
+/** True if --quick appears in the argument list. */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return true;
+    return false;
+}
+
+/**
+ * Run @p run_one for all four modes, print overview and/or breakdown
+ * tables, and check the semantic checksum.
+ * @return process exit code.
+ */
+inline int
+runFigure(const std::string &overview_title,
+          const std::string &breakdown_title,
+          const std::function<apps::RunStats(apps::Mode)> &run_one,
+          bool print_overview = true, bool print_breakdown = true)
+{
+    harness::ModeResults results;
+    for (std::size_t i = 0; i < apps::allModes.size(); ++i)
+        results[i] = run_one(apps::allModes[i]);
+
+    if (print_overview)
+        harness::printOverview(std::cout, overview_title, results);
+    if (print_breakdown)
+        harness::printBreakdown(std::cout, breakdown_title, results);
+    if (!harness::checksumsAgree(results)) {
+        std::cerr << "CHECKSUM MISMATCH across modes\n";
+        harness::printRaw(std::cerr, results);
+        return 1;
+    }
+    std::cout << "checksum: " << results[0].checksum << "\n";
+    return 0;
+}
+
+} // namespace san::bench
+
+#endif // SAN_BENCH_BENCH_COMMON_HH

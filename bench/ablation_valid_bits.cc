@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation: cache-line valid bits in the data buffers.
+ *
+ * The paper credits the per-line valid bits (with the separated
+ * control/data paths) with letting the switch CPU start processing a
+ * message before its copy completes. Two measurements:
+ *
+ * 1. Direct: the time from message injection until a handler's first
+ *    read of byte 0 unblocks, as a function of valid-bit granularity
+ *    (coarser bits delay the first touch by up to the remaining
+ *    serialization of the buffer).
+ *
+ * 2. System-level: switch-tree reduction latency. Here all child
+ *    vectors arrive concurrently while the combine itself is cheap,
+ *    so granularity barely moves end-to-end latency — the honest
+ *    conclusion being that valid bits buy per-message reaction time,
+ *    not bulk throughput, exactly the property the collective
+ *    handler's "start computation without waiting for the whole
+ *    message" claim relies on.
+ */
+
+#include <cstdio>
+
+#include "apps/Cluster.hh"
+#include "apps/Reduction.hh"
+
+using namespace san;
+using namespace san::apps;
+
+namespace {
+
+/** Dispatch-to-first-byte-readable latency for one 512 B message. */
+sim::Tick
+firstTouchLatency(unsigned line_bytes)
+{
+    ClusterParams cp;
+    cp.active.buffers.lineBytes = line_bytes;
+    Cluster cluster(cp);
+    auto &sw = cluster.sw();
+    sim::Tick seen = 0, readable = 0;
+    sw.registerHandler(1, "probe",
+                       [&](active::HandlerContext &ctx) -> sim::Task {
+        active::StreamChunk c = co_await ctx.nextChunk();
+        seen = ctx.sim().now();
+        co_await ctx.awaitValid(c, 0, 1); // first byte only
+        readable = ctx.sim().now();
+        ctx.deallocateThrough(c.address + c.bytes);
+    });
+    cluster.sim().spawn([](host::Host &h, net::NodeId sw_id) -> sim::Task {
+        co_await h.send(sw_id, 512, net::ActiveHeader{1, 0, 0});
+    }(cluster.host(), sw.id()));
+    cluster.sim().run();
+    return readable - seen;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation 1: handler wait for the first byte of a "
+                "512 B message\n");
+    std::printf("%12s %22s\n", "line bytes", "extra wait (ns)");
+    for (unsigned line : {32u, 64u, 128u, 256u, 512u})
+        std::printf("%12u %22.0f\n", line,
+                    static_cast<double>(firstTouchLatency(line)) / 1000);
+
+    std::printf("\nAblation 2: active reduce-to-one latency (us)\n");
+    std::printf("%12s %10s %10s %10s\n", "line bytes", "p=8", "p=32",
+                "p=128");
+    for (unsigned line : {32u, 128u, 512u}) {
+        std::printf("%12u", line);
+        for (unsigned nodes : {8u, 32u, 128u}) {
+            ReductionParams params;
+            params.nodes = nodes;
+            params.switchConfig.buffers.lineBytes = line;
+            ReductionRun run =
+                runReduction(true, ReduceKind::ToOne, params);
+            std::printf(" %10.2f", sim::toMicros(run.latency));
+            if (!run.correct)
+                return 1;
+        }
+        std::printf("\n");
+    }
+    std::printf("\nFine valid bits cut per-message reaction time "
+                "(ablation 1) but the\nreduction's end-to-end latency "
+                "(ablation 2) is insensitive: child\nvectors arrive "
+                "concurrently and the combine is cheap, so only the\n"
+                "first message's early lines are on the critical "
+                "path.\n");
+    return 0;
+}

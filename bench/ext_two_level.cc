@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Extension experiment: the two-level active I/O system (paper §6).
+ *
+ * "If active I/O devices do become prevalent, they can also be used
+ * within our active switch system, creating a two-level active I/O
+ * system." This bench runs a 32 MB range-selection scan (selectivity
+ * 0.25) four ways:
+ *
+ *   host-only     all filtering on the host (normal+pref)
+ *   switch        filtering in the active switch (active+pref)
+ *   device        filtering on an active-disk device processor
+ *                 (200 MHz) before data enters the fabric
+ *   device+switch two-level: the device applies a cheap coarse page
+ *                 filter (keeps ~50%), the switch refines to the
+ *                 exact 25%
+ *
+ * Reported: execution time, host I/O traffic, fabric traffic into the
+ * switch (which only the device-level filter can reduce), and where
+ * the filtering cycles were spent.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/Cluster.hh"
+#include "apps/DetHash.hh"
+#include "apps/StreamCommon.hh"
+
+using namespace san;
+using namespace san::apps;
+
+namespace {
+
+constexpr std::uint64_t tableBytes = 32ull * 1024 * 1024;
+constexpr unsigned recordBytes = 128;
+constexpr double selectivity = 0.25;
+constexpr std::uint64_t blockBytes = 64 * 1024;
+constexpr std::uint64_t seed = 2026;
+constexpr std::uint64_t checkInstr = 24;
+
+bool
+finalMatch(std::uint64_t record)
+{
+    return detChance(seed, record, selectivity);
+}
+
+/** Coarse device-level filter: page-granular, keeps ~50%. */
+bool
+coarseMatch(std::uint64_t record)
+{
+    // Any record whose 4-record page contains a final match.
+    const std::uint64_t page = record / 4;
+    for (unsigned i = 0; i < 4; ++i)
+        if (finalMatch(page * 4 + i))
+            return true;
+    return false;
+}
+
+struct Outcome {
+    sim::Tick exec = 0;
+    std::uint64_t hostBytes = 0;
+    std::uint64_t fabricBytes = 0; //!< entering the switch from TCA
+    double deviceBusyMs = 0;
+    double switchBusyMs = 0;
+    std::uint64_t matches = 0;
+};
+
+enum class Scheme { HostOnly, Switch, Device, TwoLevel };
+
+Outcome
+run(Scheme scheme)
+{
+    ClusterParams cp;
+    cp.hostMem = mem::scaledHostMemoryParams();
+    Cluster cluster(cp);
+    auto &host = cluster.host();
+    auto &sw = cluster.sw();
+    auto &storage = cluster.storage();
+    Outcome out;
+    auto matches = std::make_shared<std::uint64_t>(0);
+
+    // Device-level filter, where the scheme uses one.
+    if (scheme == Scheme::Device || scheme == Scheme::TwoLevel) {
+        const bool coarse = (scheme == Scheme::TwoLevel);
+        storage.setDeviceFilter(io::DeviceFilter{
+            [coarse](std::uint64_t offset,
+                     std::uint32_t bytes) {
+                const std::uint64_t first = offset / recordBytes;
+                const std::uint64_t recs = bytes / recordBytes;
+                std::uint32_t kept = 0;
+                for (std::uint64_t i = 0; i < recs; ++i) {
+                    const bool keep = coarse
+                                          ? coarseMatch(first + i)
+                                          : finalMatch(first + i);
+                    kept += keep ? recordBytes : 0;
+                }
+                return std::pair<std::uint32_t, std::uint64_t>(
+                    kept, recs * checkInstr);
+            },
+            200'000'000});
+    }
+
+    if (scheme == Scheme::HostOnly || scheme == Scheme::Device) {
+        // Data comes straight to the host (filtered or not).
+        cluster.sim().spawn([](host::Host &h, net::NodeId st,
+                               std::shared_ptr<std::uint64_t> cnt,
+                               Scheme sch) -> sim::Task {
+            std::uint64_t posted = 0;
+            bool have = false;
+            std::uint64_t prev_id = 0;
+            while (posted < tableBytes || have) {
+                if (!have && posted < tableBytes) {
+                    prev_id = co_await h.postRead(st, posted,
+                                                  blockBytes);
+                    posted += blockBytes;
+                    have = true;
+                }
+                const std::uint64_t cur = prev_id;
+                have = false;
+                if (posted < tableBytes) {
+                    prev_id = co_await h.postRead(st, posted,
+                                                  blockBytes);
+                    posted += blockBytes;
+                    have = true;
+                }
+                auto done = co_await h.awaitIo(cur);
+                const std::uint64_t recs =
+                    done.bytes / recordBytes;
+                // Host checks whatever arrived; in the device scheme
+                // that is already only the matches.
+                co_await h.cpu().compute(recs * checkInstr);
+                if (done.bytes > 0) {
+                    const mem::Addr buf = h.allocBuffer(done.bytes);
+                    co_await h.cpu().touch(buf, done.bytes,
+                                           mem::AccessKind::Load);
+                }
+                if (sch == Scheme::Device)
+                    *cnt += recs; // all arrivals are matches
+            }
+            co_return;
+        }(host, storage.id(), matches, scheme));
+        if (scheme == Scheme::HostOnly) {
+            // Count matches analytically for the checksum.
+            for (std::uint64_t r = 0; r < tableBytes / recordBytes;
+                 ++r)
+                *matches += finalMatch(r);
+        }
+    } else {
+        // Custom handler: consume until the device says last,
+        // refining the surviving records (a FilterHandler cannot be
+        // used here because device-side filtering changes the byte
+        // count in flight; completion rides IoReply.last instead).
+        auto handler = [matches](active::HandlerContext &ctx)
+            -> sim::Task {
+            active::StreamChunk arg = co_await ctx.nextChunk();
+            const net::NodeId reply_to = arg.src;
+            ctx.deallocateOne(arg.address);
+            bool done = false;
+            std::uint64_t block_acc = 0;
+            while (!done) {
+                active::StreamChunk c = co_await ctx.nextChunk();
+                const io::IoReply &reply =
+                    *static_cast<const io::IoReply *>(
+                        c.payload.get());
+                co_await ctx.awaitValid(c, 0, c.bytes);
+                const std::uint64_t recs = c.bytes / recordBytes;
+                co_await ctx.compute(40 + recs * checkInstr);
+                // Refine: of the arriving records, how many are
+                // final matches? (Device kept coarse pages or the
+                // stream is raw.)
+                const std::uint64_t first_raw =
+                    reply.offset / recordBytes;
+                // The raw chunk is one MTU regardless of how many
+                // bytes survived the device filter.
+                const std::uint64_t raw_recs = 512 / recordBytes;
+                std::uint64_t m = 0;
+                for (std::uint64_t i = 0; i < raw_recs; ++i)
+                    m += finalMatch(first_raw + i);
+                // NOTE: with the coarse device filter the surviving
+                // records are a superset of final matches within the
+                // raw range, so the count is the same.
+                *matches += m;
+                block_acc += m * recordBytes;
+                ctx.deallocateThrough(c.address + c.bytes);
+                // reply.last marks the end of one *block request*;
+                // the stream ends with the last chunk of the final
+                // block.
+                done = reply.last &&
+                       reply.offset + 512 >= tableBytes;
+                // Per-block result back to the host.
+                if (reply.last ||
+                    (reply.offset + 512) % blockBytes == 0) {
+                    co_await ctx.send(reply_to, block_acc,
+                                      std::nullopt, nullptr,
+                                      tagResult);
+                    block_acc = 0;
+                }
+            }
+        };
+        sw.registerHandler(1, "refine", handler);
+
+        cluster.sim().spawn([](host::Host &h, net::NodeId st,
+                               net::NodeId sw_id) -> sim::Task {
+            co_await h.send(sw_id, 64, net::ActiveHeader{1, 0xF0000000,
+                                                          0},
+                            nullptr, tagArgs);
+            std::uint64_t posted = 0, acked = 0;
+            const std::uint64_t blocks = tableBytes / blockBytes;
+            auto post = [&]() -> sim::Task {
+                co_await h.postReadTo(
+                    st, posted * blockBytes, blockBytes, sw_id,
+                    net::ActiveHeader{
+                        1,
+                        static_cast<std::uint32_t>(posted *
+                                                   blockBytes),
+                        0});
+                ++posted;
+            };
+            while (posted < blocks && posted < 2)
+                co_await post();
+            while (acked < blocks) {
+                net::Message m = co_await h.recv();
+                if (m.tag != tagResult)
+                    continue;
+                ++acked;
+                if (posted < blocks)
+                    co_await post();
+                if (m.bytes > 0) {
+                    const mem::Addr buf = h.allocBuffer(m.bytes);
+                    co_await h.cpu().touch(buf, m.bytes,
+                                           mem::AccessKind::Prefetch);
+                }
+            }
+        }(host, storage.id(), sw.id()));
+    }
+
+    out.exec = cluster.sim().run();
+    out.hostBytes = host.ioTrafficBytes();
+    out.fabricBytes = storage.tca().bytesSent();
+    out.deviceBusyMs = sim::toMillis(storage.deviceBusyTicks());
+    out.switchBusyMs = sim::toMillis(sw.cpu(0).busyTicks());
+    out.matches = *matches;
+    return out;
+}
+
+const char *
+name(Scheme s)
+{
+    switch (s) {
+      case Scheme::HostOnly: return "host-only";
+      case Scheme::Switch: return "switch";
+      case Scheme::Device: return "device";
+      case Scheme::TwoLevel: return "device+switch";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Extension: two-level active I/O (32 MB select, "
+                "selectivity 0.25)\n");
+    std::printf("%-14s %10s %12s %13s %11s %11s %9s\n", "scheme",
+                "exec(ms)", "host(MB)", "fabric(MB)", "device(ms)",
+                "switch(ms)", "matches");
+    std::uint64_t reference = 0;
+    bool ok = true;
+    for (Scheme s : {Scheme::HostOnly, Scheme::Switch, Scheme::Device,
+                     Scheme::TwoLevel}) {
+        const Outcome o = run(s);
+        if (s == Scheme::HostOnly)
+            reference = o.matches;
+        ok = ok && (o.matches == reference);
+        std::printf("%-14s %10.2f %12.2f %13.2f %11.2f %11.2f %9llu\n",
+                    name(s), sim::toMillis(o.exec),
+                    o.hostBytes / 1048576.0, o.fabricBytes / 1048576.0,
+                    o.deviceBusyMs, o.switchBusyMs,
+                    static_cast<unsigned long long>(o.matches));
+        std::fflush(stdout);
+    }
+    if (!ok) {
+        std::fprintf(stderr, "match counts diverged!\n");
+        return 1;
+    }
+    std::printf("\nDevice-level filtering is the only scheme that "
+                "also removes fabric\ntraffic; the two-level split "
+                "shares the cycles between the 200 MHz\ndevice core "
+                "and the 500 MHz switch CPU, as §6 of the paper "
+                "anticipates.\n");
+    return 0;
+}

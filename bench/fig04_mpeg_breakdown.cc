@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 4: MPEG-filter execution-time breakdown (busy / cache stall
+ * / idle for host and switch CPUs).
+ */
+
+#include "BenchCommon.hh"
+#include "apps/MpegFilter.hh"
+
+int
+main(int argc, char **argv)
+{
+    san::apps::MpegParams params;
+    if (san::bench::quickMode(argc, argv))
+        params.fileBytes = 512 * 1024;
+    return san::bench::runFigure(
+        "", "Fig 4: MPEG filter",
+        [&](san::apps::Mode m) { return runMpegFilter(m, params); },
+        false, true);
+}

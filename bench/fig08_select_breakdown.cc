@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 8: Select execution-time breakdown (busy / cache stall /
+ * idle). The active cases show the sharp drop in host cache misses
+ * the paper highlights.
+ */
+
+#include "BenchCommon.hh"
+#include "apps/Select.hh"
+
+int
+main(int argc, char **argv)
+{
+    san::apps::SelectParams params;
+    if (san::bench::quickMode(argc, argv))
+        params.tableBytes = 16ull * 1024 * 1024;
+    return san::bench::runFigure(
+        "", "Fig 8: Select",
+        [&](san::apps::Mode m) { return runSelect(m, params); },
+        false, true);
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 9: Grep (overview: exec time, host utilization, host I/O traffic).
+ */
+
+#include "BenchCommon.hh"
+#include "apps/Grep.hh"
+
+int
+main(int argc, char **argv)
+{
+    san::apps::GrepParams params;
+    (void)argc;
+    (void)argv;
+    return san::bench::runFigure(
+        "Fig 9: Grep", "Fig 9: Grep",
+        [&](san::apps::Mode m) { return runGrep(m, params); },
+        true, false);
+}

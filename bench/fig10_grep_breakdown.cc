@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 10: Grep (execution-time breakdown: busy / cache stall / idle).
+ */
+
+#include "BenchCommon.hh"
+#include "apps/Grep.hh"
+
+int
+main(int argc, char **argv)
+{
+    san::apps::GrepParams params;
+    (void)argc;
+    (void)argv;
+    return san::bench::runFigure(
+        "Fig 10: Grep", "Fig 10: Grep",
+        [&](san::apps::Mode m) { return runGrep(m, params); },
+        false, true);
+}

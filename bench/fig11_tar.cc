@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 11: Tar (overview: exec time, host utilization, host I/O traffic).
+ */
+
+#include "BenchCommon.hh"
+#include "apps/Tar.hh"
+
+int
+main(int argc, char **argv)
+{
+    san::apps::TarParams params;
+    (void)argc;
+    (void)argv;
+    return san::bench::runFigure(
+        "Fig 11: Tar", "Fig 11: Tar",
+        [&](san::apps::Mode m) { return runTar(m, params); },
+        true, false);
+}

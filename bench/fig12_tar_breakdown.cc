@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 12: Tar (execution-time breakdown: busy / cache stall / idle).
+ */
+
+#include "BenchCommon.hh"
+#include "apps/Tar.hh"
+
+int
+main(int argc, char **argv)
+{
+    san::apps::TarParams params;
+    (void)argc;
+    (void)argv;
+    return san::bench::runFigure(
+        "Fig 12: Tar", "Fig 12: Tar",
+        [&](san::apps::Mode m) { return runTar(m, params); },
+        false, true);
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 13: Parallel sort (overview: exec time, host utilization, host I/O traffic).
+ */
+
+#include "BenchCommon.hh"
+#include "apps/ParallelSort.hh"
+
+int
+main(int argc, char **argv)
+{
+    san::apps::SortParams params;
+    (void)argc;
+    (void)argv;
+    return san::bench::runFigure(
+        "Fig 13: Parallel sort", "Fig 13: Parallel sort",
+        [&](san::apps::Mode m) { return runParallelSort(m, params); },
+        true, false);
+}

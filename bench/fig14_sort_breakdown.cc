@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig 14: Parallel sort (execution-time breakdown: busy / cache stall / idle).
+ */
+
+#include "BenchCommon.hh"
+#include "apps/ParallelSort.hh"
+
+int
+main(int argc, char **argv)
+{
+    san::apps::SortParams params;
+    (void)argc;
+    (void)argv;
+    return san::bench::runFigure(
+        "Fig 14: Parallel sort", "Fig 14: Parallel sort",
+        [&](san::apps::Mode m) { return runParallelSort(m, params); },
+        false, true);
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 16: Distributed Reduce latency, normal (binomial reduce +
+ * binomial scatter) vs active (switch-tree reduce + root
+ * redistribution handler), 2..128 nodes.
+ *
+ * Paper-reported shape: like Reduce-to-one with slightly larger
+ * normal latencies (the scatter rounds); active speedup reaches
+ * ~5.92 at 128 nodes.
+ */
+
+#include <cstdio>
+
+#include "apps/Reduction.hh"
+
+int
+main()
+{
+    using namespace san::apps;
+    std::printf("Fig 16: Distributed Reduce (512 B vectors)\n");
+    std::printf("%6s %14s %14s %9s %8s\n", "nodes", "normal(us)",
+                "active(us)", "speedup", "correct");
+    int failures = 0;
+    for (unsigned p = 2; p <= 128; p *= 2) {
+        ReductionParams params;
+        params.nodes = p;
+        ReductionRun normal =
+            runReduction(false, ReduceKind::Distributed, params);
+        ReductionRun active =
+            runReduction(true, ReduceKind::Distributed, params);
+        std::printf("%6u %14.2f %14.2f %9.2f %8s\n", p,
+                    san::sim::toMicros(normal.latency),
+                    san::sim::toMicros(active.latency),
+                    static_cast<double>(normal.latency) /
+                        static_cast<double>(active.latency),
+                    (normal.correct && active.correct) ? "yes" : "NO");
+        failures += !(normal.correct && active.correct);
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * google-benchmark microbenches of the simulation substrate: they
+ * keep the kernel fast enough that the 128 MB table scans stay
+ * interactive, and act as performance regression guards.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/Md5.hh"
+#include "mem/Cache.hh"
+#include "mem/MemorySystem.hh"
+#include "sim/EventQueue.hh"
+#include "sim/Random.hh"
+#include "sim/Simulation.hh"
+#include "sim/Sync.hh"
+
+namespace {
+
+using namespace san;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::Random rng(7);
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < n; ++i)
+            q.schedule(rng.below(1'000'000),
+                       [&sum, i] { sum += static_cast<unsigned>(i); });
+        q.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_CacheStreamingAccess(benchmark::State &state)
+{
+    mem::Cache cache(
+        mem::CacheParams{"bench", 512 * 1024, 2, 128, false});
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        cache.access(addr, false);
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheStreamingAccess);
+
+void
+BM_CacheRandomClassified(benchmark::State &state)
+{
+    mem::Cache cache(mem::CacheParams{"bench", 64 * 1024, 2, 128, true});
+    sim::Random rng(3);
+    for (auto _ : state)
+        cache.access(rng.below(16 * 1024 * 1024), rng.chance(0.3));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheRandomClassified);
+
+void
+BM_MemorySystemStreaming(benchmark::State &state)
+{
+    mem::MemorySystem ms(mem::hostMemoryParams());
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ms.dataAccess(addr, 128, mem::AccessKind::Load, 0));
+        addr += 128;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemorySystemStreaming);
+
+void
+BM_ChannelPingPong(benchmark::State &state)
+{
+    const int msgs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulation s;
+        sim::Channel<int> ch(s);
+        s.spawn([](sim::Channel<int> &c, int n) -> sim::Task {
+            for (int i = 0; i < n; ++i) {
+                co_await sim::Delay{1000};
+                c.push(i);
+            }
+        }(ch, msgs));
+        s.spawn([](sim::Channel<int> &c, int n) -> sim::Task {
+            for (int i = 0; i < n; ++i)
+                benchmark::DoNotOptimize(co_await c.pop());
+        }(ch, msgs));
+        s.run();
+    }
+    state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(1024);
+
+void
+BM_Md5Throughput(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(64 * 1024);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 31);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(apps::md5(data));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Md5Throughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,379 @@
+#include "active/ActiveSwitch.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "io/IoRequest.hh"
+#include "io/StorageNode.hh"
+#include "sim/Log.hh"
+
+namespace san::active {
+
+std::uint64_t ActiveSwitch::nextMessageId_ = (1ull << 48);
+
+// ---------------------------------------------------------------------
+// HandlerContext
+// ---------------------------------------------------------------------
+
+HandlerContext::HandlerContext(ActiveSwitch &sw, unsigned cpu_index,
+                               std::uint8_t handler_id,
+                               std::uint8_t cpu_id)
+    : sw_(sw), cpuIndex_(cpu_index), handlerId_(handler_id),
+      cpuId_(cpu_id),
+      input_(std::make_unique<sim::Channel<StreamChunk>>(sw.sim()))
+{}
+
+sim::Simulation &
+HandlerContext::sim()
+{
+    return sw_.sim();
+}
+
+cpu::SwitchCpu &
+HandlerContext::cpu()
+{
+    return sw_.cpu(cpuIndex_);
+}
+
+sim::ValueTask<StreamChunk>
+HandlerContext::nextChunk()
+{
+    StreamChunk chunk = co_await input_->pop();
+    co_return chunk;
+}
+
+std::size_t
+HandlerContext::pendingChunks()
+{
+    return input_->size();
+}
+
+sim::Task
+HandlerContext::awaitValid(const StreamChunk &chunk, std::uint32_t offset,
+                           std::uint32_t len)
+{
+    const sim::Tick ready =
+        sw_.buffers().validAt(chunk.bufId, offset, len);
+    const sim::Tick now = sw_.sim().now();
+    if (ready > now)
+        co_await sim::Delay{ready - now};
+}
+
+sim::Delay
+HandlerContext::compute(std::uint64_t instructions)
+{
+    return cpu().compute(instructions);
+}
+
+sim::Delay
+HandlerContext::access(mem::Addr addr, std::uint64_t bytes,
+                       mem::AccessKind kind)
+{
+    return cpu().touch(addr, bytes, kind);
+}
+
+sim::Delay
+HandlerContext::fetchCode(mem::Addr pc, std::uint64_t bytes)
+{
+    return cpu().fetchCode(pc, bytes);
+}
+
+void
+HandlerContext::deallocateThrough(std::uint32_t end_addr)
+{
+    auto freed = sw_.atb(cpuIndex_).releaseBelow(end_addr);
+    for (unsigned id : freed)
+        sw_.releaseBuffer(id);
+    if (!freed.empty())
+        sw_.retryPending();
+}
+
+void
+HandlerContext::deallocateOne(std::uint32_t base)
+{
+    auto xlate = sw_.atb(cpuIndex_).translate(base);
+    if (!xlate)
+        return;
+    sw_.atb(cpuIndex_).release(base);
+    sw_.releaseBuffer(xlate->first);
+    sw_.retryPending();
+}
+
+sim::Task
+HandlerContext::send(net::NodeId dst, std::uint64_t bytes,
+                     std::optional<net::ActiveHeader> active,
+                     net::PayloadPtr payload, std::uint32_t tag)
+{
+    // Compose the header and hand the buffer to the Send unit.
+    co_await cpu().busyFor(sw_.config().sendLatency);
+    sw_.sendUnit(dst, bytes, active, std::move(payload), tag);
+}
+
+sim::Task
+HandlerContext::postRead(net::NodeId storage, std::uint64_t offset,
+                         std::uint64_t bytes, net::NodeId reply_to,
+                         std::optional<net::ActiveHeader> reply_active)
+{
+    // The small run-time kernel on the switch validates and posts
+    // the request (the paper's "modest kernel support").
+    co_await cpu().busyFor(sim::us(1));
+    io::IoRequest req;
+    req.requestId = ActiveSwitch::nextMessageId_++;
+    req.offset = offset;
+    req.bytes = bytes;
+    req.replyTo = reply_to;
+    req.replyActive = reply_active;
+    sw_.sendUnit(storage, io::requestMessageBytes, std::nullopt,
+                 io::makeRequestPayload(req), io::tagIoRequest);
+}
+
+// ---------------------------------------------------------------------
+// ActiveSwitch
+// ---------------------------------------------------------------------
+
+ActiveSwitch::ActiveSwitch(sim::Simulation &sim, std::string name,
+                           net::NodeId id,
+                           const net::SwitchParams &params,
+                           const ActiveConfig &config)
+    : net::Switch(sim, std::move(name), id, params), config_(config),
+      pool_(config.buffers), jumpTable_(net::maxHandlerId + 1),
+      bufOwner_(config.buffers.count)
+{
+    assert(config_.cpus >= 1 && config_.cpus <= 4);
+    for (unsigned i = 0; i < config_.cpus; ++i) {
+        atbs_.emplace_back(config_.atbEntries, config_.buffers.bytes);
+        auto mem_params = config_.cpuMem;
+        mem_params.name = this->name() + ".sp" + std::to_string(i);
+        cpus_.push_back(std::make_unique<cpu::SwitchCpu>(
+            sim, mem_params.name, mem_params, config_.cpuHz));
+        cpuLoad_.push_back(0);
+    }
+}
+
+void
+ActiveSwitch::registerHandler(std::uint8_t handler_id, std::string name,
+                              HandlerFn fn)
+{
+    assert(handler_id <= net::maxHandlerId);
+    jumpTable_[handler_id] = JumpEntry{std::move(name), std::move(fn)};
+}
+
+void
+ActiveSwitch::deliverLocal(const net::Arrival &arrival)
+{
+    if (!arrival.pkt.active) {
+        sim::logAt(sim::LogLevel::Warn, name(), sim_.now(),
+                   "non-active packet addressed to switch; dropped");
+        return;
+    }
+    // The Dispatch unit decodes the header and consults the jump
+    // table in parallel with the payload copy into a data buffer.
+    sim_.events().after(config_.dispatchLatency,
+                        [this, arrival] { dispatch(arrival); });
+}
+
+void
+ActiveSwitch::dispatch(const net::Arrival &arrival)
+{
+    // Arrivals must stay ordered within one handler instance's
+    // stream, so if that instance already has packets waiting for
+    // buffers, queue behind them.
+    const InstanceKey key{arrival.pkt.activeHdr.handlerId,
+                          arrival.pkt.activeHdr.cpuId};
+    for (const net::Arrival &waiting : pending_) {
+        const InstanceKey wkey{waiting.pkt.activeHdr.handlerId,
+                               waiting.pkt.activeHdr.cpuId};
+        if (wkey == key) {
+            ++dispatchStalls_;
+            pending_.push_back(arrival);
+            return;
+        }
+    }
+    if (!tryStage(arrival)) {
+        ++dispatchStalls_;
+        pending_.push_back(arrival);
+    }
+}
+
+void
+ActiveSwitch::retryPending()
+{
+    // Streams are independent: a stalled instance (out of buffers or
+    // ATB slots) must not block other instances' packets — only
+    // per-instance order is preserved.
+    std::vector<InstanceKey> blocked;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        const InstanceKey key{it->pkt.activeHdr.handlerId,
+                              it->pkt.activeHdr.cpuId};
+        if (std::find(blocked.begin(), blocked.end(), key) !=
+            blocked.end()) {
+            ++it;
+            continue;
+        }
+        if (tryStage(*it)) {
+            it = pending_.erase(it);
+        } else {
+            blocked.push_back(key);
+            ++it;
+        }
+    }
+}
+
+bool
+ActiveSwitch::tryStage(const net::Arrival &arrival)
+{
+    const net::Packet &pkt = arrival.pkt;
+    const std::uint8_t hid = pkt.activeHdr.handlerId;
+    if (!jumpTable_[hid]) {
+        sim::logAt(sim::LogLevel::Warn, name(), sim_.now(),
+                   "no handler registered for id ",
+                   static_cast<int>(hid), "; packet dropped");
+        return true; // drop rather than wedge the pending queue
+    }
+
+    Instance &inst = instanceFor(pkt);
+
+    // Fair share: one stream's backlog must not monopolize the
+    // buffer pool and starve the other switch CPUs' streams.
+    if (inst.heldBuffers >= bufferQuota())
+        return false;
+
+    auto buf = pool_.allocate();
+    if (!buf)
+        return false;
+
+    const std::uint32_t chunk_addr =
+        pkt.activeHdr.address +
+        pkt.seq * static_cast<std::uint32_t>(pool_.params().bytes);
+    if (!atb(inst.cpuIndex).map(chunk_addr, *buf)) {
+        pool_.release(*buf);
+        return false;
+    }
+
+    // Payload streams in at the wire rate; recover it from the
+    // arrival timestamps so any link speed works.
+    if (pkt.payloadBytes > 0) {
+        const double ps_per_byte =
+            static_cast<double>(arrival.end - arrival.start) /
+            static_cast<double>(pkt.wireBytes());
+        const sim::Tick payload_first =
+            arrival.start +
+            static_cast<sim::Tick>(net::headerBytes * ps_per_byte);
+        pool_.fill(*buf, payload_first, pkt.payloadBytes, ps_per_byte);
+    } else {
+        pool_.fillLocal(*buf, 0, sim_.now());
+    }
+
+    bufOwner_[*buf] = InstanceKey{pkt.activeHdr.handlerId,
+                                  pkt.activeHdr.cpuId};
+    ++inst.heldBuffers;
+
+    StreamChunk chunk;
+    chunk.address = chunk_addr;
+    chunk.bytes = pkt.payloadBytes;
+    chunk.bufId = *buf;
+    chunk.src = pkt.src;
+    chunk.tag = pkt.tag;
+    chunk.payload = pkt.payload;
+    chunk.lastOfMessage = pkt.last;
+    chunk.messageBytes = pkt.messageBytes;
+    inst.ctx->input_->push(std::move(chunk));
+    ++staged_;
+    return true;
+}
+
+ActiveSwitch::Instance &
+ActiveSwitch::instanceFor(const net::Packet &pkt)
+{
+    const InstanceKey key{pkt.activeHdr.handlerId, pkt.activeHdr.cpuId};
+    auto it = instances_.find(key);
+    if (it != instances_.end())
+        return it->second;
+
+    const unsigned cpu_index = pickCpu(pkt.activeHdr.cpuId);
+    Instance inst;
+    inst.handlerId = key.first;
+    inst.cpuId = key.second;
+    inst.cpuIndex = cpu_index;
+    inst.ctx = std::make_unique<HandlerContext>(
+        *this, cpu_index, key.first, key.second);
+    auto [pos, inserted] = instances_.emplace(key, std::move(inst));
+    assert(inserted);
+    ++cpuLoad_[cpu_index];
+    ++invoked_;
+    sim_.spawn(runInstance(key, jumpTable_[key.first]->fn));
+    return pos->second;
+}
+
+unsigned
+ActiveSwitch::pickCpu(std::uint8_t cpu_id)
+{
+    if (cpuCount() > 1)
+        return cpu_id % cpuCount();
+    return 0;
+}
+
+sim::Task
+ActiveSwitch::runInstance(InstanceKey key, HandlerFn fn)
+{
+    // The instance entry outlives the handler body (std::map nodes
+    // are stable); it is reaped here once the handler returns.
+    co_await fn(*instances_.at(key).ctx);
+    auto it = instances_.find(key);
+    assert(it != instances_.end());
+    --cpuLoad_[it->second.cpuIndex];
+    instances_.erase(it);
+}
+
+void
+ActiveSwitch::releaseBuffer(unsigned buf_id)
+{
+    if (bufOwner_[buf_id]) {
+        auto it = instances_.find(*bufOwner_[buf_id]);
+        if (it != instances_.end() && it->second.heldBuffers > 0)
+            --it->second.heldBuffers;
+        bufOwner_[buf_id].reset();
+    }
+    pool_.release(buf_id);
+}
+
+unsigned
+ActiveSwitch::bufferQuota() const
+{
+    const unsigned live =
+        std::max<unsigned>(1, static_cast<unsigned>(instances_.size()));
+    return std::max(2u, pool_.params().count / live);
+}
+
+void
+ActiveSwitch::sendUnit(net::NodeId dst, std::uint64_t bytes,
+                       std::optional<net::ActiveHeader> active,
+                       net::PayloadPtr payload, std::uint32_t tag)
+{
+    const std::uint64_t id = nextMessageId_++;
+    const unsigned mtu = pool_.params().bytes;
+    std::uint64_t remaining = bytes;
+    std::uint32_t seq = 0;
+    do {
+        const std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(remaining, mtu));
+        remaining -= chunk;
+        net::Packet pkt;
+        pkt.src = this->id();
+        pkt.dst = dst;
+        pkt.payloadBytes = chunk;
+        pkt.active = active.has_value();
+        if (active)
+            pkt.activeHdr = *active;
+        pkt.messageId = id;
+        pkt.tag = tag;
+        pkt.seq = seq++;
+        pkt.last = (remaining == 0);
+        pkt.messageBytes = bytes;
+        if (pkt.last)
+            pkt.payload = payload;
+        inject(std::move(pkt));
+    } while (remaining > 0);
+}
+
+} // namespace san::active

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The active switch: a conventional SAN switch augmented with the
+ * paper's "active" hardware — a Dispatch unit, a jump table of
+ * handler entry points, per-CPU ATBs, the on-chip data buffer pool
+ * with its administrator, a Send unit, and one to four embedded
+ * switch processors.
+ *
+ * Programming model (paper §2): any message whose destination is the
+ * switch itself is an active message. Its 6-bit handler ID selects a
+ * handler; the Dispatch unit allocates a data buffer for each
+ * arriving packet, maps it into the target CPU's ATB at the address
+ * carried in the active header, and either starts a new handler
+ * instance on a switch CPU or feeds the stream of an already-running
+ * one. Handlers access their input through memory-mapped reads
+ * (stalling on not-yet-valid lines), explicitly deallocate consumed
+ * buffers, and emit results through the Send unit.
+ */
+
+#ifndef SAN_ACTIVE_ACTIVE_SWITCH_HH
+#define SAN_ACTIVE_ACTIVE_SWITCH_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "active/Atb.hh"
+#include "active/DataBuffer.hh"
+#include "cpu/Cpu.hh"
+#include "net/Switch.hh"
+#include "sim/Simulation.hh"
+#include "sim/Sync.hh"
+
+namespace san::active {
+
+class ActiveSwitch;
+class HandlerContext;
+
+/** One arriving piece of an active message, staged in a buffer. */
+struct StreamChunk {
+    std::uint32_t address = 0;  //!< mapped base address of this chunk
+    std::uint32_t bytes = 0;
+    unsigned bufId = 0;
+    net::NodeId src = net::invalidNode;
+    std::uint32_t tag = 0;
+    net::PayloadPtr payload;    //!< rides the last packet of a message
+    bool lastOfMessage = false;
+    std::uint64_t messageBytes = 0;
+};
+
+/** A handler body: a coroutine over its context. */
+using HandlerFn = std::function<sim::Task(HandlerContext &)>;
+
+/** Active hardware configuration. */
+struct ActiveConfig {
+    unsigned cpus = 1;               //!< 1..4 embedded processors
+    std::uint64_t cpuHz = 500'000'000; //!< embedded core clock
+    DataBufferParams buffers{};      //!< 16 x 512 B
+    unsigned atbEntries = 16;
+    /** Dispatch unit: header decode + jump table lookup. */
+    sim::Tick dispatchLatency = sim::ns(40);
+    /** Send unit: handing one message to the crossbar. */
+    sim::Tick sendLatency = sim::ns(20);
+    mem::MemorySystemParams cpuMem = mem::switchMemoryParams();
+};
+
+/**
+ * Execution context handed to a running handler. All handler
+ * interaction with the switch hardware goes through this API.
+ */
+class HandlerContext
+{
+  public:
+    HandlerContext(ActiveSwitch &sw, unsigned cpu_index,
+                   std::uint8_t handler_id, std::uint8_t cpu_id);
+
+    /** The switch this handler runs inside. */
+    ActiveSwitch &owner() { return sw_; }
+    sim::Simulation &sim();
+    /** Index of the embedded CPU executing this instance. */
+    unsigned cpuIndex() const { return cpuIndex_; }
+    std::uint8_t handlerId() const { return handlerId_; }
+    cpu::SwitchCpu &cpu();
+
+    /** Await the next chunk of this instance's input stream. */
+    sim::ValueTask<StreamChunk> nextChunk();
+
+    /** Chunks queued right now (non-blocking peek at backlog). */
+    std::size_t pendingChunks();
+
+    /**
+     * Memory-mapped read of [offset, offset+len) of @p chunk:
+     * stalls (idle) until the lines are valid. Valid-bit hardware:
+     * overlapping compute with the arriving copy is the point.
+     */
+    sim::Task awaitValid(const StreamChunk &chunk, std::uint32_t offset,
+                         std::uint32_t len);
+
+    /** Busy-execute instructions on this instance's switch CPU. */
+    sim::Delay compute(std::uint64_t instructions);
+
+    /** Touch switch-local memory (bit-vector, DFA...) via the D$. */
+    sim::Delay access(mem::Addr addr, std::uint64_t bytes,
+                      mem::AccessKind kind);
+
+    /** Instruction-side footprint of this handler's code. */
+    sim::Delay fetchCode(mem::Addr pc, std::uint64_t bytes);
+
+    /**
+     * Deallocate_Buffer(end): release every buffer mapped wholly
+     * below @p end_addr, as the paper's macro does.
+     */
+    void deallocateThrough(std::uint32_t end_addr);
+
+    /** Release exactly the buffer mapped at @p base (arguments and
+     * other out-of-stream objects). */
+    void deallocateOne(std::uint32_t base);
+
+    /**
+     * Emit a message via the Send unit. Charges the send-unit
+     * latency; packets are injected into the crossbar toward @p dst.
+     */
+    sim::Task send(net::NodeId dst, std::uint64_t bytes,
+                   std::optional<net::ActiveHeader> active = std::nullopt,
+                   net::PayloadPtr payload = nullptr,
+                   std::uint32_t tag = 0);
+
+    /**
+     * Initiate a disk read from the switch (Tar-style): requires the
+     * small run-time kernel, modelled as a fixed kernel cost.
+     */
+    sim::Task postRead(net::NodeId storage, std::uint64_t offset,
+                       std::uint64_t bytes, net::NodeId reply_to,
+                       std::optional<net::ActiveHeader> reply_active);
+
+  private:
+    friend class ActiveSwitch;
+
+    ActiveSwitch &sw_;
+    unsigned cpuIndex_;
+    std::uint8_t handlerId_;
+    std::uint8_t cpuId_;
+    std::unique_ptr<sim::Channel<StreamChunk>> input_;
+};
+
+/** A SAN switch with the active hardware attached. */
+class ActiveSwitch : public net::Switch
+{
+  public:
+    ActiveSwitch(sim::Simulation &sim, std::string name, net::NodeId id,
+                 const net::SwitchParams &params,
+                 const ActiveConfig &config = {});
+
+    /** Install a handler program under @p handler_id (jump table). */
+    void registerHandler(std::uint8_t handler_id, std::string name,
+                         HandlerFn fn);
+
+    const ActiveConfig &config() const { return config_; }
+    unsigned cpuCount() const
+    {
+        return static_cast<unsigned>(cpus_.size());
+    }
+    cpu::SwitchCpu &cpu(unsigned i) { return *cpus_.at(i); }
+    Atb &atb(unsigned cpu_index) { return atbs_.at(cpu_index); }
+    DataBufferPool &buffers() { return pool_; }
+
+    /** Active messages dispatched / chunks staged (stats). */
+    std::uint64_t handlersInvoked() const { return invoked_; }
+    std::uint64_t chunksStaged() const { return staged_; }
+    std::uint64_t dispatchStalls() const { return dispatchStalls_; }
+
+    /** Fair-share cap on buffers held by one handler instance. */
+    unsigned bufferQuota() const;
+
+  protected:
+    void deliverLocal(const net::Arrival &arrival) override;
+
+  private:
+    friend class HandlerContext;
+
+    struct Instance {
+        std::uint8_t handlerId;
+        std::uint8_t cpuId;
+        unsigned cpuIndex;
+        std::unique_ptr<HandlerContext> ctx;
+        unsigned heldBuffers = 0; //!< fair-share accounting
+        bool done = false;
+    };
+
+    using InstanceKey = std::pair<std::uint8_t, std::uint8_t>;
+
+    /** Stage one packet into a buffer + ATB + instance stream. */
+    void dispatch(const net::Arrival &arrival);
+    bool tryStage(const net::Arrival &arrival);
+    void retryPending();
+    Instance &instanceFor(const net::Packet &pkt);
+    unsigned pickCpu(std::uint8_t cpu_id);
+    sim::Task runInstance(InstanceKey key, HandlerFn fn);
+
+    /** Send-unit segmentation (mirrors Adapter::sendMessage). */
+    void sendUnit(net::NodeId dst, std::uint64_t bytes,
+                  std::optional<net::ActiveHeader> active,
+                  net::PayloadPtr payload, std::uint32_t tag);
+
+    /** Release one data buffer, crediting its owning instance. */
+    void releaseBuffer(unsigned buf_id);
+
+    ActiveConfig config_;
+    DataBufferPool pool_;
+    std::vector<Atb> atbs_;
+    std::vector<std::unique_ptr<cpu::SwitchCpu>> cpus_;
+    std::vector<unsigned> cpuLoad_; //!< live instances per CPU
+
+    struct JumpEntry {
+        std::string name;
+        HandlerFn fn;
+    };
+    std::vector<std::optional<JumpEntry>> jumpTable_;
+
+    std::map<InstanceKey, Instance> instances_;
+    std::deque<net::Arrival> pending_; //!< waiting for buffer/ATB slot
+    /** Owning instance of each data buffer (or none). */
+    std::vector<std::optional<InstanceKey>> bufOwner_;
+
+    std::uint64_t invoked_ = 0;
+    std::uint64_t staged_ = 0;
+    std::uint64_t dispatchStalls_ = 0;
+    static std::uint64_t nextMessageId_;
+};
+
+} // namespace san::active
+
+#endif // SAN_ACTIVE_ACTIVE_SWITCH_HH

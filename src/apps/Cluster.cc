@@ -1,0 +1,51 @@
+#include "apps/Cluster.hh"
+
+#include <cassert>
+
+namespace san::apps {
+
+Cluster::Cluster(const ClusterParams &params)
+    : params_(params), fabric_(sim_, params.link, params.adapter)
+{
+    assert(params.hosts + params.storageNodes <= params.switchPorts);
+    sw_ = &fabric_.addSwitch<active::ActiveSwitch>(
+        net::SwitchParams{params.switchPorts}, params.active);
+
+    unsigned port = 0;
+    for (unsigned i = 0; i < params.hosts; ++i) {
+        hosts_.push_back(std::make_unique<host::Host>(
+            sim_, "host" + std::to_string(i), fabric_, params.hostMem,
+            params.os));
+        fabric_.connect(*sw_, port++, hosts_.back()->hca());
+    }
+    for (unsigned i = 0; i < params.storageNodes; ++i) {
+        auto &tca = fabric_.addAdapter("tca" + std::to_string(i));
+        storage_.push_back(
+            std::make_unique<io::StorageNode>(sim_, tca, params.storage));
+        fabric_.connect(*sw_, port++, tca);
+    }
+    fabric_.computeRoutes();
+    for (auto &h : hosts_)
+        h->start();
+    for (auto &s : storage_)
+        s->start();
+}
+
+RunStats
+Cluster::collect(Mode mode)
+{
+    const sim::Tick end = sim_.run();
+    RunStats stats;
+    stats.mode = mode;
+    stats.execTime = end;
+    for (auto &h : hosts_) {
+        stats.hosts.push_back(h->cpu().breakdown(end));
+        stats.hostIoBytes += h->ioTrafficBytes();
+    }
+    if (isActive(mode))
+        for (unsigned i = 0; i < sw_->cpuCount(); ++i)
+            stats.switchCpus.push_back(sw_->cpu(i).breakdown(end));
+    return stats;
+}
+
+} // namespace san::apps

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Single-switch cluster builder used by most benchmarks: N hosts and
+ * M storage nodes around one (active-capable) switch.
+ */
+
+#ifndef SAN_APPS_CLUSTER_HH
+#define SAN_APPS_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "active/ActiveSwitch.hh"
+#include "apps/RunConfig.hh"
+#include "host/Host.hh"
+#include "io/StorageNode.hh"
+#include "net/Fabric.hh"
+#include "sim/Simulation.hh"
+
+namespace san::apps {
+
+/** Cluster shape and component parameters. */
+struct ClusterParams {
+    unsigned hosts = 1;
+    unsigned storageNodes = 1;
+    unsigned switchPorts = 16;
+    active::ActiveConfig active{};
+    mem::MemorySystemParams hostMem = mem::hostMemoryParams();
+    host::OsCostParams os{};
+    io::StorageParams storage{};
+    net::LinkParams link{};
+    net::AdapterParams adapter{};
+};
+
+/**
+ * One simulated system. The switch is always an ActiveSwitch; in the
+ * normal modes no handlers are registered and no active messages are
+ * sent, so it behaves exactly like a conventional switch.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterParams &params = {});
+
+    sim::Simulation &sim() { return sim_; }
+    net::Fabric &fabric() { return fabric_; }
+    active::ActiveSwitch &sw() { return *sw_; }
+    host::Host &host(unsigned i = 0) { return *hosts_.at(i); }
+    io::StorageNode &storage(unsigned i = 0) { return *storage_.at(i); }
+    unsigned hostCount() const
+    {
+        return static_cast<unsigned>(hosts_.size());
+    }
+    unsigned storageCount() const
+    {
+        return static_cast<unsigned>(storage_.size());
+    }
+
+    /** Run to completion and collect the paper's metrics. */
+    RunStats collect(Mode mode);
+
+  private:
+    ClusterParams params_;
+    sim::Simulation sim_;
+    net::Fabric fabric_;
+    active::ActiveSwitch *sw_ = nullptr;
+    std::vector<std::unique_ptr<host::Host>> hosts_;
+    std::vector<std::unique_ptr<io::StorageNode>> storage_;
+};
+
+} // namespace san::apps
+
+#endif // SAN_APPS_CLUSTER_HH

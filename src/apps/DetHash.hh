@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Stateless deterministic hashing shared by host-side and switch-side
+ * code so both compute identical per-record decisions (bit-vector
+ * probes, match outcomes, destination nodes) without materializing
+ * the data.
+ */
+
+#ifndef SAN_APPS_DET_HASH_HH
+#define SAN_APPS_DET_HASH_HH
+
+#include <cstdint>
+
+namespace san::apps {
+
+/** splitmix64-style avalanche of (seed, index). */
+constexpr std::uint64_t
+detHash(std::uint64_t seed, std::uint64_t index)
+{
+    std::uint64_t z = seed + index * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Deterministic Bernoulli trial with probability @p p. */
+constexpr bool
+detChance(std::uint64_t seed, std::uint64_t index, double p)
+{
+    return static_cast<double>(detHash(seed, index) >> 11) *
+               0x1.0p-53 < p;
+}
+
+} // namespace san::apps
+
+#endif // SAN_APPS_DET_HASH_HH

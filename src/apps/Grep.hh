@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Grep (paper §5): search one file for lines matching a pattern.
+ *
+ * GNU Grep's three phases are: option parsing (host in all modes),
+ * DFA construction, and the search loop. The active version runs the
+ * latter two on the switch; only the 16 matching lines travel back
+ * to the host. The workload mirrors the paper: a 1,146,880-byte file
+ * with exactly 16 matching lines, searched for a fixed string with
+ * 32 KB I/O requests.
+ */
+
+#ifndef SAN_APPS_GREP_HH
+#define SAN_APPS_GREP_HH
+
+#include <cstdint>
+
+#include "apps/Cluster.hh"
+#include "apps/RunConfig.hh"
+
+namespace san::apps {
+
+/** Workload and cost parameters for Grep. */
+struct GrepParams {
+    std::uint64_t fileBytes = 1146880;   //!< paper's input size
+    std::uint64_t blockBytes = 32 * 1024; //!< I/O request size
+    unsigned lineBytes = 70;             //!< 16384 lines exactly
+    unsigned matchingLines = 16;
+
+    /** @{ Cost model. */
+    std::uint64_t dfaSetupInstr = 20000;   //!< build the DFA once
+    std::uint64_t searchInstrPerByte = 4;  //!< DFA transition + loop
+    std::uint64_t perMatchInstr = 200;     //!< record/emit a match
+    std::uint64_t chunkOverheadInstr = 40;
+    std::uint64_t dfaTableBytes = 3328;    //!< 13 states x 256
+    std::uint64_t handlerCodeBytes = 3072;
+    /** @} */
+
+    /** System shape/hardware overrides (ablation studies). */
+    ClusterParams cluster{};
+};
+
+/** Run Grep in one mode. checksum = "<lines>:<matched bytes>". */
+RunStats runGrep(Mode mode, const GrepParams &params = {});
+
+} // namespace san::apps
+
+#endif // SAN_APPS_GREP_HH

@@ -1,0 +1,207 @@
+#include "apps/Md5.hh"
+
+#include <cstring>
+
+namespace san::apps {
+
+namespace {
+
+constexpr std::uint32_t
+leftRotate(std::uint32_t x, unsigned c)
+{
+    return (x << c) | (x >> (32 - c));
+}
+
+// Per-round shift amounts.
+constexpr unsigned shifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// Binary integer parts of abs(sin(i+1)) * 2^32.
+constexpr std::uint32_t sines[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
+    0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
+    0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
+    0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
+    0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
+    0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
+    0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
+    0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+std::uint32_t
+readLe32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void
+writeLe32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+} // namespace
+
+void
+Md5::reset()
+{
+    state_[0] = 0x67452301;
+    state_[1] = 0xefcdab89;
+    state_[2] = 0x98badcfe;
+    state_[3] = 0x10325476;
+    totalLen_ = 0;
+    bufferLen_ = 0;
+    blocks_ = 0;
+}
+
+void
+Md5::compress(const std::uint8_t block[64])
+{
+    std::uint32_t m[16];
+    for (int i = 0; i < 16; ++i)
+        m[i] = readLe32(block + 4 * i);
+
+    std::uint32_t a = state_[0], b = state_[1];
+    std::uint32_t c = state_[2], d = state_[3];
+
+    for (unsigned i = 0; i < 64; ++i) {
+        std::uint32_t f;
+        unsigned g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        const std::uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = b + leftRotate(a + f + sines[i] + m[g], shifts[i]);
+        a = tmp;
+    }
+
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    ++blocks_;
+}
+
+void
+Md5::update(const std::uint8_t *data, std::size_t len)
+{
+    totalLen_ += len;
+    while (len > 0) {
+        if (bufferLen_ == 0 && len >= 64) {
+            compress(data);
+            data += 64;
+            len -= 64;
+            continue;
+        }
+        const std::size_t take = std::min<std::size_t>(64 - bufferLen_,
+                                                       len);
+        std::memcpy(buffer_ + bufferLen_, data, take);
+        bufferLen_ += take;
+        data += take;
+        len -= take;
+        if (bufferLen_ == 64) {
+            compress(buffer_);
+            bufferLen_ = 0;
+        }
+    }
+}
+
+Md5Digest
+Md5::finish()
+{
+    const std::uint64_t bit_len = totalLen_ * 8;
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0;
+    while (bufferLen_ != 56)
+        update(&zero, 1);
+    std::uint8_t len_bytes[8];
+    writeLe32(len_bytes, static_cast<std::uint32_t>(bit_len));
+    writeLe32(len_bytes + 4, static_cast<std::uint32_t>(bit_len >> 32));
+    update(len_bytes, 8);
+
+    Md5Digest out;
+    for (int i = 0; i < 4; ++i)
+        writeLe32(out.data() + 4 * i, state_[i]);
+    return out;
+}
+
+Md5Digest
+md5(const std::uint8_t *data, std::size_t len)
+{
+    Md5 ctx;
+    ctx.update(data, len);
+    return ctx.finish();
+}
+
+Md5Digest
+md5(const std::vector<std::uint8_t> &data)
+{
+    return md5(data.data(), data.size());
+}
+
+Md5Digest
+md5Interleaved(const std::vector<std::uint8_t> &data, unsigned k,
+               std::size_t block_bytes)
+{
+    if (k == 0)
+        k = 1;
+    std::vector<Md5> chains(k);
+    std::size_t off = 0;
+    std::uint64_t block = 0;
+    while (off < data.size()) {
+        const std::size_t take =
+            std::min(block_bytes, data.size() - off);
+        chains[block % k].update(data.data() + off, take);
+        off += take;
+        ++block;
+    }
+    // The K digests themselves form a message, digested once more.
+    std::vector<std::uint8_t> combined;
+    combined.reserve(16 * k);
+    for (auto &chain : chains) {
+        const Md5Digest d = chain.finish();
+        combined.insert(combined.end(), d.begin(), d.end());
+    }
+    return md5(combined);
+}
+
+std::string
+toHex(const Md5Digest &digest)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (std::uint8_t b : digest) {
+        out.push_back(hex[b >> 4]);
+        out.push_back(hex[b & 0xf]);
+    }
+    return out;
+}
+
+} // namespace san::apps

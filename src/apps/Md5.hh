@@ -1,0 +1,70 @@
+/**
+ * @file
+ * MD5 message digest (RFC 1321), implemented from scratch.
+ *
+ * Two variants are provided:
+ *  - md5(): the standard chained digest.
+ *  - md5Interleaved(): the paper's multi-processor reformulation —
+ *    blocks are dealt round-robin onto K independent chains ("the
+ *    I-th block is part of the (I mod K)-th chain"); the K digests
+ *    are concatenated and digested once more with the single-block
+ *    algorithm.
+ *
+ * The real implementation grounds the simulator's cost model and
+ * gives the semantic tests something to verify.
+ */
+
+#ifndef SAN_APPS_MD5_HH
+#define SAN_APPS_MD5_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace san::apps {
+
+/** A 128-bit digest. */
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/** Incremental MD5 state. */
+class Md5
+{
+  public:
+    Md5() { reset(); }
+
+    void reset();
+    void update(const std::uint8_t *data, std::size_t len);
+    Md5Digest finish();
+
+    /** Number of 64-byte blocks compressed so far. */
+    std::uint64_t blocksProcessed() const { return blocks_; }
+
+  private:
+    void compress(const std::uint8_t block[64]);
+
+    std::uint32_t state_[4];
+    std::uint64_t totalLen_;
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_;
+    std::uint64_t blocks_ = 0;
+};
+
+/** One-shot digest of a byte vector. */
+Md5Digest md5(const std::uint8_t *data, std::size_t len);
+Md5Digest md5(const std::vector<std::uint8_t> &data);
+
+/**
+ * K-chain interleaved digest (the multi-switch-CPU algorithm).
+ * @p k must be >= 1; k == 1 degenerates to plain MD5.
+ */
+Md5Digest md5Interleaved(const std::vector<std::uint8_t> &data,
+                         unsigned k, std::size_t block_bytes = 64);
+
+/** Hex string of a digest (for tests and tools). */
+std::string toHex(const Md5Digest &digest);
+
+} // namespace san::apps
+
+#endif // SAN_APPS_MD5_HH

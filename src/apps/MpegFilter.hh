@@ -1,0 +1,64 @@
+/**
+ * @file
+ * MPEG-filter (paper §5): video stream filtering + color reduction.
+ *
+ * Two cascaded filters from the Lancaster distributed-multimedia
+ * filter suite: (1) frame filtering — drop all B/P frames, keeping
+ * only I frames (cheap header checks, large data reduction), and
+ * (2) color reduction of the surviving I frames (decode + re-encode,
+ * compute-heavy).
+ *
+ * The active split pipelines the two: the switch runs the frame
+ * filter (dropping the 63.5% of bytes that are P frames), the host
+ * runs color reduction on what remains — host and switch CPU form a
+ * balanced pipeline.
+ *
+ * The Lancaster test clip is not distributable; the synthetic stream
+ * reproduces its only relevant properties: total length 2,202,640
+ * bytes and 63.5% P-frame bytes (GOP pattern I:16 KB + 4 x P:7 KB).
+ */
+
+#ifndef SAN_APPS_MPEG_FILTER_HH
+#define SAN_APPS_MPEG_FILTER_HH
+
+#include <cstdint>
+
+#include "apps/Cluster.hh"
+#include "apps/RunConfig.hh"
+
+namespace san::apps {
+
+/** Workload and cost parameters for MPEG-filter. */
+struct MpegParams {
+    std::uint64_t fileBytes = 2202640; //!< paper's clip size
+    std::uint64_t blockBytes = 64 * 1024; //!< 64 KB I/O requests
+    std::uint64_t iFrameBytes = 16 * 1024;
+    std::uint64_t pFrameBytes = 7 * 1024;
+    unsigned pFramesPerGop = 4; //!< P bytes = 28/44 = 63.6%
+
+    /** @{ Cost model. */
+    std::uint64_t headerCheckInstr = 150;   //!< start-code + type
+    std::uint64_t scanInstrPerByte = 6;     //!< find start codes, copy
+    std::uint64_t colorReduceInstrPerByte = 64; //!< decode+re-encode
+    std::uint64_t chunkOverheadInstr = 40;
+    std::uint64_t handlerCodeBytes = 2048;
+    /** @} */
+
+    /** System shape/hardware overrides (ablation studies). */
+    ClusterParams cluster{};
+};
+
+/** Bytes of I-frame data inside [offset, offset+len). */
+std::uint64_t iBytesInRange(const MpegParams &p, std::uint64_t offset,
+                            std::uint64_t len);
+
+/** Frame headers beginning inside [offset, offset+len). */
+std::uint64_t framesInRange(const MpegParams &p, std::uint64_t offset,
+                            std::uint64_t len);
+
+/** Run MPEG-filter in one mode. checksum = I bytes kept. */
+RunStats runMpegFilter(Mode mode, const MpegParams &params = {});
+
+} // namespace san::apps
+
+#endif // SAN_APPS_MPEG_FILTER_HH

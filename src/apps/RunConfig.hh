@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The four evaluation configurations and per-run result metrics.
+ *
+ * Every benchmark runs in the paper's four cases:
+ *   normal       — host only, synchronous I/O (one outstanding req)
+ *   normal+pref  — host only, two outstanding I/O requests
+ *   active       — host + switch handlers, one outstanding request
+ *   active+pref  — host + switch handlers, two outstanding requests
+ */
+
+#ifndef SAN_APPS_RUN_CONFIG_HH
+#define SAN_APPS_RUN_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/Cpu.hh"
+#include "sim/Types.hh"
+
+namespace san::apps {
+
+enum class Mode { Normal, NormalPref, Active, ActivePref };
+
+inline constexpr std::array<Mode, 4> allModes = {
+    Mode::Normal, Mode::NormalPref, Mode::Active, Mode::ActivePref};
+
+constexpr bool
+isActive(Mode m)
+{
+    return m == Mode::Active || m == Mode::ActivePref;
+}
+
+constexpr bool
+isPref(Mode m)
+{
+    return m == Mode::NormalPref || m == Mode::ActivePref;
+}
+
+/** Number of outstanding I/O requests in this mode. */
+constexpr unsigned
+outstandingRequests(Mode m)
+{
+    return isPref(m) ? 2 : 1;
+}
+
+inline const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::Normal: return "normal";
+      case Mode::NormalPref: return "normal+pref";
+      case Mode::Active: return "active";
+      case Mode::ActivePref: return "active+pref";
+    }
+    return "?";
+}
+
+/** Results of one benchmark run in one mode. */
+struct RunStats {
+    Mode mode = Mode::Normal;
+    sim::Tick execTime = 0;
+
+    /** Per-host breakdowns ("n-HP" bars of the paper's figures). */
+    std::vector<cpu::TimeBreakdown> hosts;
+    /** Per-switch-CPU breakdowns ("a-SP" bars). */
+    std::vector<cpu::TimeBreakdown> switchCpus;
+
+    /** Bytes in+out of host HCAs (the paper's host I/O traffic). */
+    std::uint64_t hostIoBytes = 0;
+
+    /** Optional semantic check result (digest, match count...). */
+    std::string checksum;
+
+    /** Mean host utilization: (1 - idle/total). */
+    double
+    hostUtilization() const
+    {
+        if (hosts.empty())
+            return 0.0;
+        double sum = 0;
+        for (const auto &h : hosts)
+            sum += h.utilization();
+        return sum / static_cast<double>(hosts.size());
+    }
+
+    /** Mean switch CPU utilization. */
+    double
+    switchUtilization() const
+    {
+        if (switchCpus.empty())
+            return 0.0;
+        double sum = 0;
+        for (const auto &s : switchCpus)
+            sum += s.utilization();
+        return sum / static_cast<double>(switchCpus.size());
+    }
+};
+
+} // namespace san::apps
+
+#endif // SAN_APPS_RUN_CONFIG_HH

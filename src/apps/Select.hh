@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Select: sequential range selection over a table (paper §5).
+ *
+ * Each 128-byte record carries an integer field checked against a
+ * range. In the normal modes the host scans every record (streaming
+ * the whole table through its scaled-down caches); in the active
+ * modes the selection runs inside the switch on data-buffer contents
+ * and only matching records (selectivity's worth) reach the host,
+ * which merely counts them. The experiment uses the scaled host
+ * caches (8 KB L1D / 64 KB L2) like HashJoin.
+ */
+
+#ifndef SAN_APPS_SELECT_HH
+#define SAN_APPS_SELECT_HH
+
+#include <cstdint>
+
+#include "apps/Cluster.hh"
+#include "apps/RunConfig.hh"
+
+namespace san::apps {
+
+/** Workload and cost parameters for Select. */
+struct SelectParams {
+    std::uint64_t tableBytes = 128ull * 1024 * 1024; //!< paper: 128 MB
+    unsigned recordBytes = 128;
+    double selectivity = 0.25;     //!< fraction of matching records
+    std::uint64_t blockBytes = 64 * 1024; //!< I/O request size
+    std::uint64_t seed = 12345;
+
+    /** @{ Cost model (single-issue instructions). */
+    std::uint64_t checkInstrPerRecord = 24; //!< load field + compare
+    std::uint64_t countInstrPerMatch = 4;   //!< host-side tally
+    std::uint64_t chunkOverheadInstr = 40;  //!< per-MTU handler loop
+    std::uint64_t handlerCodeBytes = 1024;
+    /** @} */
+
+    /** System shape/hardware overrides (ablation studies). */
+    ClusterParams cluster{};
+};
+
+/** Run Select in one mode. checksum = number of matching records. */
+RunStats runSelect(Mode mode, const SelectParams &params = {});
+
+} // namespace san::apps
+
+#endif // SAN_APPS_SELECT_HH

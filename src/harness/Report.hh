@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Experiment reporting: renders the paper's two figure styles as
+ * text tables.
+ *
+ *  - Overview figure (e.g. Fig 3/5/7/9/11/13): execution time
+ *    normalized to "normal", host utilization, host I/O traffic
+ *    normalized to "normal", for the four configurations.
+ *  - Breakdown figure (e.g. Fig 4/6/8/10/12/14): busy / cache-stall
+ *    / idle fractions for host CPUs ("n-HP", "n+p-HP", "a-HP",
+ *    "a+p-HP") and switch CPUs ("a-SP", "a+p-SP").
+ */
+
+#ifndef SAN_HARNESS_REPORT_HH
+#define SAN_HARNESS_REPORT_HH
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "apps/RunConfig.hh"
+
+namespace san::harness {
+
+/** Results of a benchmark across the four modes, in allModes order. */
+using ModeResults = std::array<apps::RunStats, 4>;
+
+/** Print the 3-metric overview table (the paper's first figure). */
+void printOverview(std::ostream &os, const std::string &title,
+                   const ModeResults &results);
+
+/** Print the execution-time breakdown table (the second figure). */
+void printBreakdown(std::ostream &os, const std::string &title,
+                    const ModeResults &results);
+
+/** Consistency check: every mode computed the same answer. */
+bool checksumsAgree(const ModeResults &results);
+
+/** One line per mode: raw execution time and checksum. */
+void printRaw(std::ostream &os, const ModeResults &results);
+
+} // namespace san::harness
+
+#endif // SAN_HARNESS_REPORT_HH

@@ -1,0 +1,106 @@
+#include "harness/StatsReport.hh"
+
+#include <ostream>
+
+namespace san::harness {
+
+namespace {
+
+void
+dumpCache(std::ostream &os, const std::string &prefix, mem::Cache &c)
+{
+    os << prefix << ".hits " << c.hits() << '\n'
+       << prefix << ".misses " << c.misses() << '\n'
+       << prefix << ".missRate " << c.missRate() << '\n'
+       << prefix << ".writebacks " << c.writebacks() << '\n';
+    if (c.params().classifyMisses) {
+        os << prefix << ".coldMisses " << c.coldMisses() << '\n'
+           << prefix << ".capacityMisses " << c.capacityMisses() << '\n'
+           << prefix << ".conflictMisses " << c.conflictMisses() << '\n';
+    }
+}
+
+void
+dumpTlb(std::ostream &os, const std::string &prefix, mem::Tlb &t)
+{
+    os << prefix << ".hits " << t.hits() << '\n'
+       << prefix << ".misses " << t.misses() << '\n';
+}
+
+} // namespace
+
+void
+dumpMemoryStats(std::ostream &os, const std::string &prefix,
+                mem::MemorySystem &ms)
+{
+    dumpCache(os, prefix + ".l1i", ms.l1i());
+    dumpCache(os, prefix + ".l1d", ms.l1d());
+    if (ms.l2())
+        dumpCache(os, prefix + ".l2", *ms.l2());
+    dumpTlb(os, prefix + ".itlb", ms.itlb());
+    dumpTlb(os, prefix + ".dtlb", ms.dtlb());
+    os << prefix << ".dram.pageHits " << ms.dram().pageHits() << '\n'
+       << prefix << ".dram.pageMisses " << ms.dram().pageMisses() << '\n'
+       << prefix << ".dram.bytes " << ms.dram().bytesTransferred()
+       << '\n'
+       << prefix << ".stallTicks " << ms.stallTicks() << '\n';
+}
+
+void
+dumpClusterStats(std::ostream &os, apps::Cluster &cluster)
+{
+    for (unsigned i = 0; i < cluster.hostCount(); ++i) {
+        auto &h = cluster.host(i);
+        const std::string prefix = h.name();
+        os << prefix << ".cpu.busyTicks " << h.cpu().busyTicks() << '\n'
+           << prefix << ".cpu.stallTicks " << h.cpu().stallTicks()
+           << '\n';
+        dumpMemoryStats(os, prefix + ".mem", h.cpu().memory());
+        os << prefix << ".hca.bytesSent " << h.hca().bytesSent() << '\n'
+           << prefix << ".hca.bytesReceived " << h.hca().bytesReceived()
+           << '\n'
+           << prefix << ".hca.messagesSent " << h.hca().messagesSent()
+           << '\n'
+           << prefix << ".hca.messagesReceived "
+           << h.hca().messagesReceived() << '\n';
+    }
+
+    auto &sw = cluster.sw();
+    os << sw.name() << ".packetsRouted " << sw.packetsRouted() << '\n'
+       << sw.name() << ".packetsLocal " << sw.packetsLocal() << '\n'
+       << sw.name() << ".handlersInvoked " << sw.handlersInvoked()
+       << '\n'
+       << sw.name() << ".chunksStaged " << sw.chunksStaged() << '\n'
+       << sw.name() << ".dispatchStalls " << sw.dispatchStalls() << '\n'
+       << sw.name() << ".buffers.allocations "
+       << sw.buffers().allocations() << '\n'
+       << sw.name() << ".buffers.peakInUse " << sw.buffers().peakInUse()
+       << '\n'
+       << sw.name() << ".buffers.allocationFailures "
+       << sw.buffers().allocationFailures() << '\n';
+    for (unsigned i = 0; i < sw.cpuCount(); ++i) {
+        const std::string prefix =
+            sw.name() + ".sp" + std::to_string(i);
+        os << prefix << ".busyTicks " << sw.cpu(i).busyTicks() << '\n'
+           << prefix << ".stallTicks " << sw.cpu(i).stallTicks() << '\n'
+           << prefix << ".atb.mappings " << sw.atb(i).mappings() << '\n'
+           << prefix << ".atb.conflicts " << sw.atb(i).conflicts()
+           << '\n';
+        dumpMemoryStats(os, prefix + ".mem", sw.cpu(i).memory());
+    }
+
+    for (unsigned i = 0; i < cluster.storageCount(); ++i) {
+        auto &s = cluster.storage(i);
+        const std::string prefix = "storage" + std::to_string(i);
+        os << prefix << ".requestsServed " << s.requestsServed() << '\n'
+           << prefix << ".disk.bytesRead " << s.disks().bytesRead()
+           << '\n'
+           << prefix << ".disk.seeks " << s.disks().seeks() << '\n'
+           << prefix << ".scsi.bytes " << s.bus().bytesTransferred()
+           << '\n'
+           << prefix << ".scsi.transactions " << s.bus().transactions()
+           << '\n';
+    }
+}
+
+} // namespace san::harness

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Component-level statistics dump: caches, TLBs, DRAM, switch,
+ * buffers, ATBs, disks and adapters of a cluster, in a stable
+ * `component.stat value` format. Benches print this under --stats;
+ * it also serves as the simulator's debugging x-ray.
+ */
+
+#ifndef SAN_HARNESS_STATS_REPORT_HH
+#define SAN_HARNESS_STATS_REPORT_HH
+
+#include <iosfwd>
+
+#include "apps/Cluster.hh"
+
+namespace san::harness {
+
+/** Dump every component's counters for one cluster. */
+void dumpClusterStats(std::ostream &os, apps::Cluster &cluster);
+
+/** Dump one memory system's cache/TLB/DRAM counters. */
+void dumpMemoryStats(std::ostream &os, const std::string &prefix,
+                     mem::MemorySystem &ms);
+
+} // namespace san::harness
+
+#endif // SAN_HARNESS_STATS_REPORT_HH

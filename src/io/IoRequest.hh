@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Wire-level request/reply records of the storage protocol.
+ *
+ * A read request is a small message whose payload carries an
+ * IoRequest; the storage node streams the data back as MTU-sized
+ * chunk messages, each tagged with an IoReply. Replies can be
+ * directed at any node — including an active switch handler (the
+ * request's replyActive header), which is how active-case data flows
+ * into switch data buffers, and how Tar redirects archive output past
+ * the host entirely.
+ */
+
+#ifndef SAN_IO_IO_REQUEST_HH
+#define SAN_IO_IO_REQUEST_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "net/Packet.hh"
+
+namespace san::io {
+
+/** Size on the wire of a read-request message (command descriptor). */
+inline constexpr std::uint32_t requestMessageBytes = 64;
+
+/** @{ Message tags of the storage protocol. */
+inline constexpr std::uint32_t tagIoRequest = 1;
+inline constexpr std::uint32_t tagIoReply = 2;
+/** @} */
+
+/** A read command sent to a storage node. */
+struct IoRequest {
+    std::uint64_t requestId = 0;
+    std::uint64_t offset = 0;            //!< byte offset on the volume
+    std::uint64_t bytes = 0;             //!< transfer length
+    net::NodeId replyTo = net::invalidNode;
+    /** If set, replies are active messages with this header. */
+    std::optional<net::ActiveHeader> replyActive;
+};
+
+/** Tag carried by each data chunk coming back from storage. */
+struct IoReply {
+    std::uint64_t requestId = 0;
+    std::uint64_t offset = 0;            //!< offset of this chunk
+    std::uint32_t bytes = 0;             //!< chunk payload size
+    bool last = false;                   //!< final chunk of request
+};
+
+} // namespace san::io
+
+#endif // SAN_IO_IO_REQUEST_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ultra-320 SCSI bus occupancy model.
+ *
+ * The bus charges an arbitration + selection overhead per transaction
+ * and carries data at 320 MB/s peak. Like the other occupancy models
+ * it serializes overlapping users without requiring events.
+ */
+
+#ifndef SAN_IO_SCSI_BUS_HH
+#define SAN_IO_SCSI_BUS_HH
+
+#include <cstdint>
+
+#include "sim/Types.hh"
+
+namespace san::io {
+
+/** Bus parameters (Ultra-320 defaults). */
+struct ScsiParams {
+    double bandwidthBytesPerSec = 320e6;
+    /** Arbitration + selection phases per transaction. */
+    sim::Tick transactionOverhead = sim::us(1);
+};
+
+/** The shared storage bus between disks and the TCA. */
+class ScsiBus
+{
+  public:
+    explicit ScsiBus(const ScsiParams &params = {})
+        : params_(params),
+          psPerByte_(sim::bytesPerSec(params.bandwidthBytesPerSec))
+    {}
+
+    /**
+     * Transfer @p bytes ready at @p ready; @p new_transaction charges
+     * the arbitration/selection overhead.
+     * @return completion time of the transfer.
+     */
+    sim::Tick
+    transfer(std::uint64_t bytes, sim::Tick ready, bool new_transaction)
+    {
+        sim::Tick start = std::max(ready, busyUntil_);
+        if (new_transaction) {
+            start += params_.transactionOverhead;
+            ++transactions_;
+        }
+        const sim::Tick done =
+            start + sim::transferTime(bytes, psPerByte_);
+        busyUntil_ = done;
+        bytes_ += bytes;
+        return done;
+    }
+
+    const ScsiParams &params() const { return params_; }
+    std::uint64_t bytesTransferred() const { return bytes_; }
+    std::uint64_t transactions() const { return transactions_; }
+
+  private:
+    ScsiParams params_;
+    sim::PsPerByte psPerByte_;
+    sim::Tick busyUntil_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t transactions_ = 0;
+};
+
+} // namespace san::io
+
+#endif // SAN_IO_SCSI_BUS_HH

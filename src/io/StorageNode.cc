@@ -1,0 +1,129 @@
+#include "io/StorageNode.hh"
+
+#include <cassert>
+#include <vector>
+
+namespace san::io {
+
+StorageNode::StorageNode(sim::Simulation &sim, net::Adapter &tca,
+                         const StorageParams &params)
+    : sim_(sim), tca_(tca), params_(params),
+      disks_(params.disks, params.disk), bus_(params.scsi)
+{}
+
+void
+StorageNode::setDeviceFilter(DeviceFilter filter)
+{
+    filter_ = std::move(filter);
+    devicePeriod_ = sim::Frequency(filter_.cpuHz).period();
+}
+
+void
+StorageNode::start()
+{
+    sim_.spawn(serve());
+}
+
+sim::Task
+StorageNode::serve()
+{
+    for (;;) {
+        net::Message msg = co_await tca_.recvQueue().pop();
+        IoRequest req = requestOf(msg);
+        ++requests_;
+        // Each request streams independently; disk/bus occupancy
+        // models serialize contention between concurrent requests.
+        sim_.spawn(handleRequest(req));
+    }
+}
+
+sim::Task
+StorageNode::handleRequest(IoRequest req)
+{
+    // Reserve the disk and bus schedules for every chunk up front
+    // (at issue time), so the disk stage of chunk i+1 overlaps the
+    // bus stage of chunk i: the pipeline runs at min(disk, bus)
+    // aggregate bandwidth rather than their series combination.
+    const unsigned chunk = tca_.mtu();
+    struct Slot {
+        std::uint64_t offset;
+        std::uint32_t bytes;    //!< bytes leaving the TCA
+        std::uint32_t rawBytes; //!< bytes read off the media
+        sim::Tick atTca;
+    };
+    std::vector<Slot> schedule;
+    schedule.reserve(static_cast<std::size_t>(
+        (req.bytes + chunk - 1) / chunk));
+    std::uint64_t planned = 0;
+    bool first = true;
+    while (planned < req.bytes) {
+        const std::uint32_t n = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk, req.bytes - planned));
+        const sim::Tick off_platter =
+            disks_.readChunk(req.offset + planned, n, sim_.now());
+        sim::Tick at_tca = bus_.transfer(n, off_platter, first);
+        first = false;
+        std::uint32_t out_bytes = n;
+        if (filter_.process) {
+            // The device core inspects the chunk before it leaves
+            // the TCA. Its occupancy is reserved here, in the same
+            // globally-ordered pass as the disk and bus schedules,
+            // so concurrent requests keep their delivery order.
+            auto [kept, instr] =
+                filter_.process(req.offset + planned, n);
+            const sim::Tick work = instr * devicePeriod_;
+            const sim::Tick start = std::max(at_tca, deviceFree_);
+            deviceFree_ = start + work;
+            deviceBusy_ += work;
+            at_tca = deviceFree_;
+            filtered_ += n - kept;
+            out_bytes = kept;
+        }
+        schedule.push_back(
+            Slot{req.offset + planned, out_bytes, n, at_tca});
+        planned += n;
+    }
+
+    std::uint64_t sent = 0;
+    for (const Slot &slot : schedule) {
+        if (slot.atTca > sim_.now())
+            co_await sim::Delay{slot.atTca - sim_.now()};
+        auto reply = std::make_shared<IoReply>();
+        reply->requestId = req.requestId;
+        reply->offset = slot.offset;
+        reply->bytes = slot.bytes;
+        sent += slot.rawBytes;
+        reply->last = (sent >= req.bytes);
+        // For active replies the TCA advances the mapped address with
+        // the file offset, so the handler sees a flat file image.
+        std::optional<net::ActiveHeader> hdr = req.replyActive;
+        if (hdr)
+            hdr->address += static_cast<std::uint32_t>(
+                slot.offset - req.offset);
+        const std::uint32_t msg_bytes = reply->bytes;
+        tca_.sendMessage(req.replyTo, msg_bytes, hdr,
+                         std::move(reply), tagIoReply);
+    }
+}
+
+net::PayloadPtr
+makeRequestPayload(const IoRequest &req)
+{
+    return std::make_shared<IoRequest>(req);
+}
+
+const IoRequest &
+requestOf(const net::Message &msg)
+{
+    assert(msg.payload && "request message without IoRequest payload");
+    return *static_cast<const IoRequest *>(msg.payload.get());
+}
+
+const IoReply &
+replyOf(const net::Message &msg)
+{
+    assert(msg.payload && "data chunk without IoReply payload");
+    return *static_cast<const IoReply *>(msg.payload.get());
+}
+
+} // namespace san::io

@@ -1,0 +1,118 @@
+#include "mem/Cache.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace san::mem {
+
+Cache::Cache(const CacheParams &params)
+    : params_(params)
+{
+    assert(params_.lineSize > 0 && params_.assoc > 0);
+    numLines_ = params_.size / params_.lineSize;
+    assert(numLines_ >= params_.assoc);
+    numSets_ = numLines_ / params_.assoc;
+    assert(numSets_ > 0);
+    sets_.assign(numSets_, std::vector<Line>(params_.assoc));
+}
+
+CacheAccess
+Cache::access(Addr addr, bool write)
+{
+    const Addr line = lineAddr(addr);
+    auto &set = sets_[setIndex(line)];
+    ++useClock_;
+
+    for (auto &way : set) {
+        if (way.valid && way.tag == line) {
+            way.lastUse = useClock_;
+            way.dirty |= write;
+            ++hits_;
+            if (params_.classifyMisses)
+                shadowTouch(line);
+            return CacheAccess{true, MissClass::None, false};
+        }
+    }
+
+    // Miss: classify, then fill via LRU replacement.
+    ++misses_;
+    MissClass mc = MissClass::Capacity;
+    if (params_.classifyMisses) {
+        mc = classify(line);
+        switch (mc) {
+          case MissClass::Cold: ++cold_; break;
+          case MissClass::Capacity: ++capacity_; break;
+          case MissClass::Conflict: ++conflict_; break;
+          case MissClass::None: break;
+        }
+        shadowTouch(line);
+    }
+
+    Line *victim = &set[0];
+    for (auto &way : set) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+
+    const bool writeback = victim->valid && victim->dirty;
+    writebacks_ += writeback;
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->lastUse = useClock_;
+    return CacheAccess{false, mc, writeback};
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    const auto &set = sets_[setIndex(line)];
+    return std::any_of(set.begin(), set.end(), [&](const Line &way) {
+        return way.valid && way.tag == line;
+    });
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &set : sets_)
+        for (auto &way : set)
+            way = Line{};
+}
+
+MissClass
+Cache::classify(Addr line)
+{
+    if (!seen_.contains(line)) {
+        seen_.insert(line);
+        return MissClass::Cold;
+    }
+    // Present in a fully-associative cache of the same capacity?
+    // Then only the mapping caused the miss: conflict. Otherwise the
+    // working set simply exceeds capacity.
+    return shadowMap_.contains(line) ? MissClass::Conflict
+                                     : MissClass::Capacity;
+}
+
+void
+Cache::shadowTouch(Addr line)
+{
+    auto it = shadowMap_.find(line);
+    if (it != shadowMap_.end()) {
+        shadowLru_.erase(it->second);
+        shadowMap_.erase(it);
+    }
+    shadowLru_.push_front(line);
+    shadowMap_[line] = shadowLru_.begin();
+    if (shadowLru_.size() > numLines_) {
+        shadowMap_.erase(shadowLru_.back());
+        shadowLru_.pop_back();
+    }
+}
+
+} // namespace san::mem

@@ -1,0 +1,99 @@
+#include "net/Adapter.hh"
+
+#include <cassert>
+
+namespace san::net {
+
+std::uint64_t Adapter::nextMessageId_ = 1;
+
+Adapter::Adapter(sim::Simulation &sim, std::string name, NodeId id,
+                 const AdapterParams &params)
+    : sim_(sim), name_(std::move(name)), id_(id), params_(params),
+      recv_(sim)
+{}
+
+void
+Adapter::attach(Link &out, Link &in)
+{
+    out_ = &out;
+    in_ = &in;
+    in.setSink([this](const Arrival &arrival) { receive(arrival); });
+}
+
+void
+Adapter::sendMessage(NodeId dst, std::uint64_t bytes,
+                     std::optional<ActiveHeader> active,
+                     PayloadPtr payload, std::uint32_t tag)
+{
+    assert(out_ && "adapter not attached to the fabric");
+    const std::uint64_t id = nextMessageId_++;
+    // Zero-byte messages (pure notifications) still occupy one
+    // header-only packet.
+    std::uint64_t remaining = bytes;
+    std::uint32_t seq = 0;
+    do {
+        const std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(remaining, params_.mtu));
+        remaining -= chunk;
+        Packet pkt;
+        pkt.src = id_;
+        pkt.dst = dst;
+        pkt.payloadBytes = chunk;
+        pkt.active = active.has_value();
+        if (active)
+            pkt.activeHdr = *active;
+        pkt.messageId = id;
+        pkt.tag = tag;
+        pkt.seq = seq++;
+        pkt.last = (remaining == 0);
+        pkt.messageBytes = bytes;
+        if (pkt.last)
+            pkt.payload = payload;
+        bytesOut_ += chunk;
+        out_->send(std::move(pkt));
+    } while (remaining > 0);
+    ++msgsOut_;
+}
+
+void
+Adapter::receive(const Arrival &arrival)
+{
+    assert(in_);
+    // Endpoints drain their staging immediately (DMA into host
+    // memory), so the credit is returned right away.
+    in_->returnCredit();
+
+    const Packet &pkt = arrival.pkt;
+    bytesIn_ += pkt.payloadBytes;
+
+    auto &part = partial_[pkt.messageId];
+    if (part.received == 0) {
+        part.msg.src = pkt.src;
+        part.msg.dst = pkt.dst;
+        part.msg.bytes = pkt.messageBytes;
+        part.msg.active = pkt.active;
+        part.msg.activeHdr = pkt.activeHdr;
+        part.msg.tag = pkt.tag;
+        part.msg.firstArrival = arrival.start;
+    }
+    part.received += pkt.payloadBytes;
+    if (pkt.last) {
+        part.msg.completedAt = arrival.end;
+        part.msg.payload = pkt.payload;
+        Message done = std::move(part.msg);
+        partial_.erase(pkt.messageId);
+        ++msgsIn_;
+        // The cut-through sink fires at header time; an endpoint only
+        // sees the message once its last byte has DMA'd in.
+        if (arrival.end > sim_.now()) {
+            sim_.events().schedule(
+                arrival.end, [this, m = std::move(done)]() mutable {
+                    recv_.push(std::move(m));
+                });
+        } else {
+            recv_.push(std::move(done));
+        }
+    }
+}
+
+} // namespace san::net

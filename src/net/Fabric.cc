@@ -1,0 +1,136 @@
+#include "net/Fabric.hh"
+
+#include <cassert>
+#include <queue>
+
+namespace san::net {
+
+Fabric::Fabric(sim::Simulation &sim, const LinkParams &link_params,
+               const AdapterParams &adapter_params)
+    : sim_(sim), linkParams_(link_params), adapterParams_(adapter_params)
+{}
+
+Adapter &
+Fabric::addAdapter(const std::string &name)
+{
+    const NodeId id = nextNode_++;
+    adapters_.push_back(
+        std::make_unique<Adapter>(sim_, name, id, adapterParams_));
+    adapterHome_.emplace_back(-1, 0u);
+    return *adapters_.back();
+}
+
+Link &
+Fabric::newLink(const std::string &name)
+{
+    links_.push_back(std::make_unique<Link>(sim_, name, linkParams_));
+    return *links_.back();
+}
+
+std::size_t
+Fabric::switchIndex(const Switch &sw) const
+{
+    for (std::size_t i = 0; i < switches_.size(); ++i)
+        if (switches_[i].get() == &sw)
+            return i;
+    assert(false && "switch not owned by this fabric");
+    return 0;
+}
+
+void
+Fabric::connect(Switch &sw, unsigned port, Adapter &adapter)
+{
+    Link &to_sw = newLink(adapter.name() + "->" + sw.name());
+    Link &to_ep = newLink(sw.name() + "->" + adapter.name());
+    sw.attachPort(port, to_ep, to_sw);
+    adapter.attach(to_sw, to_ep);
+
+    for (std::size_t i = 0; i < adapters_.size(); ++i) {
+        if (adapters_[i].get() == &adapter) {
+            adapterHome_[i] = {static_cast<int>(switchIndex(sw)), port};
+            return;
+        }
+    }
+    assert(false && "adapter not owned by this fabric");
+}
+
+void
+Fabric::connectSwitches(Switch &a, unsigned port_a, Switch &b,
+                        unsigned port_b)
+{
+    Link &ab = newLink(a.name() + "->" + b.name());
+    Link &ba = newLink(b.name() + "->" + a.name());
+    a.attachPort(port_a, ab, ba);
+    b.attachPort(port_b, ba, ab);
+    const auto ia = static_cast<int>(switchIndex(a));
+    const auto ib = static_cast<int>(switchIndex(b));
+    switchAdj_[ia][port_a] = {ib, static_cast<int>(port_b)};
+    switchAdj_[ib][port_b] = {ia, static_cast<int>(port_a)};
+}
+
+void
+Fabric::computeRoutes()
+{
+    const std::size_t n = switches_.size();
+
+    // For each "anchor" switch t, compute, for every other switch,
+    // the output port of its first hop toward t (BFS tree rooted at
+    // t). Reused for every destination homed at t.
+    auto towards = [&](std::size_t t) {
+        std::vector<int> port_to_t(n, -1);
+        std::vector<int> dist(n, -1);
+        std::queue<std::size_t> bfs;
+        dist[t] = 0;
+        bfs.push(t);
+        while (!bfs.empty()) {
+            const std::size_t cur = bfs.front();
+            bfs.pop();
+            for (unsigned p = 0; p < switchAdj_[cur].size(); ++p) {
+                const auto [nbr, nbr_port] = switchAdj_[cur][p];
+                if (nbr < 0 || dist[nbr] >= 0)
+                    continue;
+                dist[nbr] = dist[cur] + 1;
+                // The neighbour reaches t through its port back to
+                // cur.
+                port_to_t[nbr] = nbr_port;
+                bfs.push(static_cast<std::size_t>(nbr));
+            }
+        }
+        return port_to_t;
+    };
+
+    std::vector<std::vector<int>> first_hop(n);
+    for (std::size_t t = 0; t < n; ++t)
+        first_hop[t] = towards(t);
+
+    // Switch destinations (active messages address switches).
+    for (std::size_t t = 0; t < n; ++t) {
+        const NodeId dst = switches_[t]->id();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == t)
+                continue;
+            if (first_hop[t][i] >= 0)
+                switches_[i]->setRoute(
+                    dst, static_cast<unsigned>(first_hop[t][i]));
+        }
+    }
+
+    // Adapter destinations.
+    for (std::size_t a = 0; a < adapters_.size(); ++a) {
+        const auto [home, port] = adapterHome_[a];
+        assert(home >= 0 && "adapter never connected");
+        const NodeId dst = adapters_[a]->id();
+        switches_[home]->setRoute(dst, port);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (static_cast<int>(i) == home)
+                continue;
+            if (first_hop[static_cast<std::size_t>(home)][i] >= 0)
+                switches_[i]->setRoute(
+                    dst,
+                    static_cast<unsigned>(
+                        first_hop[static_cast<std::size_t>(home)][i]));
+        }
+    }
+}
+
+} // namespace san::net

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A unidirectional SAN link with credit-based flow control.
+ *
+ * The sender enqueues packets; each consumes one credit and occupies
+ * the wire for its serialization time (wire bytes / bandwidth). The
+ * receiver returns the credit when it has drained the packet from its
+ * input staging, as in InfiniBand's per-link credit scheme.
+ */
+
+#ifndef SAN_NET_LINK_HH
+#define SAN_NET_LINK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/Packet.hh"
+#include "sim/Simulation.hh"
+#include "sim/Types.hh"
+
+namespace san::net {
+
+/** Link configuration. */
+struct LinkParams {
+    double bandwidthBytesPerSec = 1e9;  //!< paper: 1 GB/s per direction
+    sim::Tick propagation = sim::ns(5); //!< cable flight time
+    unsigned credits = 16;              //!< receiver buffer slots
+};
+
+/** One direction of a SAN cable. */
+class Link
+{
+  public:
+    using Sink = std::function<void(const Arrival &)>;
+
+    Link(sim::Simulation &sim, std::string name, const LinkParams &params)
+        : sim_(sim), name_(std::move(name)), params_(params),
+          psPerByte_(sim::bytesPerSec(params.bandwidthBytesPerSec)),
+          credits_(params.credits)
+    {}
+
+    Link(const Link &) = delete;
+    Link &operator=(const Link &) = delete;
+
+    /** Attach the receiving component. Must be set before traffic. */
+    void setSink(Sink sink) { sink_ = std::move(sink); }
+
+    /** Queue a packet for transmission. Never blocks the caller. */
+    void
+    send(Packet pkt)
+    {
+        queue_.push_back(std::move(pkt));
+        pump();
+    }
+
+    /**
+     * Return one receiver credit (the receiver drained a packet from
+     * its input staging).
+     */
+    void
+    returnCredit()
+    {
+        ++credits_;
+        pump();
+    }
+
+    const std::string &name() const { return name_; }
+    const LinkParams &params() const { return params_; }
+    std::size_t queued() const { return queue_.size(); }
+    unsigned credits() const { return credits_; }
+    std::uint64_t packetsSent() const { return packets_; }
+    std::uint64_t bytesSent() const { return bytes_; }
+
+    /** Serialization time of one packet on this link. */
+    sim::Tick
+    serialization(const Packet &pkt) const
+    {
+        return sim::transferTime(pkt.wireBytes(), psPerByte_);
+    }
+
+  private:
+    void
+    pump()
+    {
+        while (!queue_.empty() && credits_ > 0) {
+            const sim::Tick now = sim_.now();
+            const sim::Tick start = std::max(now, wireFree_);
+            Packet pkt = std::move(queue_.front());
+            queue_.pop_front();
+            --credits_;
+            const sim::Tick ser = serialization(pkt);
+            wireFree_ = start + ser;
+            ++packets_;
+            bytes_ += pkt.wireBytes();
+            const sim::Tick first = start + params_.propagation;
+            const sim::Tick end = first + ser;
+            // Virtual cut-through: the receiver sees the packet as
+            // soon as the header is in, and may begin routing or
+            // processing while the payload is still streaming.
+            // Arrival.start/.end describe the payload timing.
+            const sim::Tick header_in =
+                first + sim::transferTime(headerBytes, psPerByte_);
+            sim_.events().schedule(
+                header_in,
+                [this, p = std::move(pkt), first, end]() mutable {
+                    sink_(Arrival{std::move(p), first, end});
+                });
+        }
+    }
+
+    sim::Simulation &sim_;
+    std::string name_;
+    LinkParams params_;
+    sim::PsPerByte psPerByte_;
+    Sink sink_;
+    std::deque<Packet> queue_;
+    unsigned credits_;
+    sim::Tick wireFree_ = 0;
+    std::uint64_t packets_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace san::net
+
+#endif // SAN_NET_LINK_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SAN packet format.
+ *
+ * Packets follow the paper's InfiniBand-style Raw format: a 128-bit
+ * header, of which 64 bits form the *active header* carrying a 6-bit
+ * handler ID, a 32-bit mapped address, and (for multi-processor
+ * switches) a switch-CPU id. Payloads are at most one MTU (512 B).
+ */
+
+#ifndef SAN_NET_PACKET_HH
+#define SAN_NET_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/Types.hh"
+
+namespace san::net {
+
+/** Globally unique endpoint/switch address within a fabric. */
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId invalidNode = ~NodeId(0);
+
+/** Bytes of packet header on the wire (128 bits). */
+inline constexpr unsigned headerBytes = 16;
+
+/** Default maximum transfer unit (payload bytes per packet). */
+inline constexpr unsigned defaultMtu = 512;
+
+/** The 64-bit active portion of the header. */
+struct ActiveHeader {
+    std::uint8_t handlerId = 0;  //!< 6 significant bits
+    std::uint32_t address = 0;   //!< data-buffer mapping address
+    std::uint8_t cpuId = 0;      //!< target switch CPU (multi-CPU)
+};
+
+/** Maximum handler id representable in the 6-bit header field. */
+inline constexpr std::uint8_t maxHandlerId = 63;
+
+/**
+ * Opaque application payload carried alongside the timing model.
+ * Most packets carry none (timing only); semantic tests attach real
+ * data (reduction vectors, matched lines, record keys...).
+ */
+using PayloadPtr = std::shared_ptr<const void>;
+
+/** One packet on the wire. */
+struct Packet {
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    std::uint32_t payloadBytes = 0;
+
+    bool active = false;         //!< destination is a switch handler
+    ActiveHeader activeHdr{};
+
+    std::uint64_t messageId = 0; //!< groups packets of one message
+    std::uint32_t seq = 0;       //!< packet index within the message
+    bool last = true;            //!< final packet of its message
+    std::uint64_t messageBytes = 0; //!< total payload of the message
+    std::uint32_t tag = 0;       //!< protocol discriminator
+
+    PayloadPtr payload;          //!< set only on the last packet
+
+    std::uint32_t
+    wireBytes() const
+    {
+        return payloadBytes + headerBytes;
+    }
+};
+
+/** Delivery record: a packet plus its first/last byte times. */
+struct Arrival {
+    Packet pkt;
+    sim::Tick start = 0; //!< first byte on the receiving wire
+    sim::Tick end = 0;   //!< last byte received
+};
+
+} // namespace san::net
+
+#endif // SAN_NET_PACKET_HH

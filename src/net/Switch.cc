@@ -1,0 +1,94 @@
+#include "net/Switch.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/Log.hh"
+
+namespace san::net {
+
+Switch::Switch(sim::Simulation &sim, std::string name, NodeId id,
+               const SwitchParams &params)
+    : sim_(sim), name_(std::move(name)), id_(id), params_(params),
+      ports_(params.ports)
+{}
+
+void
+Switch::attachPort(unsigned port, Link &out, Link &in)
+{
+    assert(port < ports_.size());
+    ports_[port].out = &out;
+    ports_[port].in = &in;
+    in.setSink([this, port](const Arrival &arrival) {
+        receive(port, arrival);
+    });
+}
+
+void
+Switch::setRoute(NodeId dst, unsigned port)
+{
+    assert(port < ports_.size());
+    auto it = std::find(routeDst_.begin(), routeDst_.end(), dst);
+    if (it != routeDst_.end()) {
+        routePort_[it - routeDst_.begin()] = port;
+    } else {
+        routeDst_.push_back(dst);
+        routePort_.push_back(port);
+    }
+}
+
+bool
+Switch::hasRoute(NodeId dst) const
+{
+    return std::find(routeDst_.begin(), routeDst_.end(), dst) !=
+           routeDst_.end();
+}
+
+unsigned
+Switch::route(NodeId dst) const
+{
+    auto it = std::find(routeDst_.begin(), routeDst_.end(), dst);
+    assert(it != routeDst_.end() && "no route to destination");
+    return routePort_[it - routeDst_.begin()];
+}
+
+void
+Switch::inject(Packet pkt)
+{
+    const unsigned port = route(pkt.dst);
+    assert(ports_[port].out && "injecting on unwired port");
+    ports_[port].out->send(std::move(pkt));
+}
+
+void
+Switch::receive(unsigned port, const Arrival &arrival)
+{
+    Link *in = ports_[port].in;
+    // Route after the fixed routing latency; the credit goes back
+    // when the packet leaves input staging for the output queue (or
+    // the local data buffers).
+    sim_.events().after(
+        params_.routingLatency,
+        [this, in, arrival]() {
+            in->returnCredit();
+            if (arrival.pkt.dst == id_) {
+                ++local_;
+                deliverLocal(arrival);
+                return;
+            }
+            ++routed_;
+            const unsigned out_port = route(arrival.pkt.dst);
+            assert(ports_[out_port].out && "routing to unwired port");
+            ports_[out_port].out->send(arrival.pkt);
+        });
+}
+
+void
+Switch::deliverLocal(const Arrival &arrival)
+{
+    sim::logAt(sim::LogLevel::Warn, name_, sim_.now(),
+               "dropping local packet from node ", arrival.pkt.src,
+               " (non-active switch)");
+}
+
+} // namespace san::net

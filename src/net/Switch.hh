@@ -1,0 +1,102 @@
+/**
+ * @file
+ * An N-port output-queued SAN switch (the non-active baseline).
+ *
+ * Modelled after the central-output-queue organization of the IBM
+ * Switch-3 the paper references: packets arriving on an input port
+ * are routed after a fixed routing latency (100 ns) into the queue of
+ * their output port, which drains at link rate. Credits on each
+ * incoming link are returned once the packet leaves input staging.
+ * Packets addressed to the switch itself are handed to
+ * deliverLocal(), which the active switch overrides.
+ */
+
+#ifndef SAN_NET_SWITCH_HH
+#define SAN_NET_SWITCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/Link.hh"
+#include "net/Packet.hh"
+#include "sim/Simulation.hh"
+
+namespace san::net {
+
+/** Switch configuration. */
+struct SwitchParams {
+    unsigned ports = 8;
+    sim::Tick routingLatency = sim::ns(100); //!< paper: 100 ns
+};
+
+/** A conventional cut-through SAN switch. */
+class Switch
+{
+  public:
+    Switch(sim::Simulation &sim, std::string name, NodeId id,
+           const SwitchParams &params);
+    virtual ~Switch() = default;
+
+    Switch(const Switch &) = delete;
+    Switch &operator=(const Switch &) = delete;
+
+    NodeId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    const SwitchParams &params() const { return params_; }
+    sim::Simulation &sim() { return sim_; }
+
+    /**
+     * Wire port @p port: @p out carries traffic away from this
+     * switch, @p in delivers traffic to it (its sink is captured).
+     */
+    void attachPort(unsigned port, Link &out, Link &in);
+
+    /** Install/overwrite the route for destination @p dst. */
+    void setRoute(NodeId dst, unsigned port);
+
+    /** Look up the output port for @p dst (asserts it exists). */
+    unsigned route(NodeId dst) const;
+    bool hasRoute(NodeId dst) const;
+
+    /**
+     * Inject a locally-generated packet (management traffic; the
+     * active switch's Send unit uses this). Uses the routing table.
+     */
+    void inject(Packet pkt);
+
+    std::uint64_t packetsRouted() const { return routed_; }
+    std::uint64_t packetsLocal() const { return local_; }
+
+  protected:
+    /**
+     * A packet addressed to this switch arrived (already past the
+     * routing stage). The base switch has no consumer: it counts and
+     * drops, which keeps management traffic harmless.
+     */
+    virtual void deliverLocal(const Arrival &arrival);
+
+    sim::Simulation &sim_;
+
+  private:
+    void receive(unsigned port, const Arrival &arrival);
+
+    std::string name_;
+    NodeId id_;
+    SwitchParams params_;
+
+    struct PortWiring {
+        Link *out = nullptr;
+        Link *in = nullptr;
+    };
+    std::vector<PortWiring> ports_;
+    std::vector<NodeId> routeDst_;   // parallel arrays: small tables
+    std::vector<unsigned> routePort_;
+
+    std::uint64_t routed_ = 0;
+    std::uint64_t local_ = 0;
+};
+
+} // namespace san::net
+
+#endif // SAN_NET_SWITCH_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the simulator.
+ *
+ * Events are (tick, callback) pairs ordered by tick, with insertion
+ * order breaking ties so simulation is fully deterministic.
+ */
+
+#ifndef SAN_SIM_EVENT_QUEUE_HH
+#define SAN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/Types.hh"
+
+namespace san::sim {
+
+/** Deterministic priority queue of timed callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute time @p when (>= now). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < now_)
+            when = now_;
+        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void
+    after(Tick delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the next pending event (maxTick if none). */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? maxTick : heap_.top().when;
+    }
+
+    /**
+     * Execute a single event, advancing time to it.
+     * @retval true an event was executed; false the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        // Moving the callback out before pop keeps the queue
+        // consistent if the callback schedules new events.
+        Entry top = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = top.when;
+        top.cb();
+        return true;
+    }
+
+    /** Run until the queue drains. @return final time. */
+    Tick
+    run()
+    {
+        while (step()) {}
+        return now_;
+    }
+
+    /**
+     * Run events with tick <= @p limit; time ends clamped to the last
+     * executed event (or advances to @p limit if the queue drained).
+     */
+    Tick
+    runUntil(Tick limit)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit)
+            step();
+        if (now_ < limit && heap_.empty())
+            now_ = limit;
+        return now_;
+    }
+
+    /** Total number of events executed so far (for stats/benches). */
+    std::uint64_t executedEvents() const { return nextSeq_ - heap_.size(); }
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace san::sim
+
+#endif // SAN_SIM_EVENT_QUEUE_HH

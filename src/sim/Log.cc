@@ -1,0 +1,47 @@
+#include "sim/Log.hh"
+
+#include <iostream>
+
+namespace san::sim {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::None: return "none";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Trace: return "trace";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+void
+logLine(LogLevel level, const std::string &component, Tick tick,
+        const std::string &message)
+{
+    if (level > globalLevel)
+        return;
+    std::cerr << '[' << levelName(level) << "] t=" << tick << "ps "
+              << component << ": " << message << '\n';
+}
+
+} // namespace san::sim

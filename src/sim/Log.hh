@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal leveled logging for simulator components.
+ *
+ * Tracing is off by default; tests and debugging sessions enable it
+ * via setLogLevel(). Messages carry the simulated tick when a queue
+ * is supplied.
+ */
+
+#ifndef SAN_SIM_LOG_HH
+#define SAN_SIM_LOG_HH
+
+#include <sstream>
+#include <string>
+
+#include "sim/Types.hh"
+
+namespace san::sim {
+
+enum class LogLevel { None = 0, Warn = 1, Info = 2, Trace = 3 };
+
+/** Global log threshold; messages above it are discarded. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/** Emit one log line (already formatted) at @p level. */
+void logLine(LogLevel level, const std::string &component,
+             Tick tick, const std::string &message);
+
+/** Build a message from stream-insertable pieces and log it. */
+template <typename... Parts>
+void
+logAt(LogLevel level, const std::string &component, Tick tick,
+      const Parts &...parts)
+{
+    if (level > logLevel())
+        return;
+    std::ostringstream oss;
+    (oss << ... << parts);
+    logLine(level, component, tick, oss.str());
+}
+
+} // namespace san::sim
+
+#endif // SAN_SIM_LOG_HH

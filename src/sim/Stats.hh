@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Lightweight statistics: counters, accumulators and histograms that
+ * components register into named groups for end-of-run dumps.
+ */
+
+#ifndef SAN_SIM_STATS_HH
+#define SAN_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace san::sim {
+
+/** A monotonically growing scalar statistic. */
+class Counter
+{
+  public:
+    void operator+=(double d) { value_ += d; }
+    void operator++() { value_ += 1; }
+    void operator++(int) { value_ += 1; }
+    double value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Tracks count / sum / min / max / mean of samples. */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0; }
+    double max() const { return count_ ? max_ : 0; }
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width linear histogram over [lo, hi) with under/overflow. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), counts_(buckets + 2, 0)
+    {}
+
+    void
+    sample(double v)
+    {
+        std::size_t idx;
+        if (v < lo_) {
+            idx = 0;
+        } else if (v >= hi_) {
+            idx = counts_.size() - 1;
+        } else {
+            const double frac = (v - lo_) / (hi_ - lo_);
+            idx = 1 + static_cast<std::size_t>(
+                frac * static_cast<double>(counts_.size() - 2));
+        }
+        ++counts_[idx];
+        total_.sample(v);
+    }
+
+    std::uint64_t underflow() const { return counts_.front(); }
+    std::uint64_t overflow() const { return counts_.back(); }
+    std::uint64_t bucket(std::size_t i) const { return counts_[i + 1]; }
+    std::size_t buckets() const { return counts_.size() - 2; }
+    const Accumulator &summary() const { return total_; }
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    Accumulator total_;
+};
+
+/**
+ * A named collection of statistics belonging to one component,
+ * dumpable in a stable text format.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    Counter &
+    counter(const std::string &stat_name)
+    {
+        counters_.push_back({stat_name, Counter{}});
+        return counters_.back().second;
+    }
+
+    Accumulator &
+    accumulator(const std::string &stat_name)
+    {
+        accums_.push_back({stat_name, Accumulator{}});
+        return accums_.back().second;
+    }
+
+    const std::string &name() const { return name_; }
+
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[n, c] : counters_)
+            os << name_ << '.' << n << ' ' << c.value() << '\n';
+        for (const auto &[n, a] : accums_) {
+            os << name_ << '.' << n << ".count " << a.count() << '\n'
+               << name_ << '.' << n << ".mean " << a.mean() << '\n'
+               << name_ << '.' << n << ".max " << a.max() << '\n';
+        }
+    }
+
+  private:
+    std::string name_;
+    // Deques keep references handed out by counter()/accumulator()
+    // stable across later registrations.
+    std::deque<std::pair<std::string, Counter>> counters_;
+    std::deque<std::pair<std::string, Accumulator>> accums_;
+};
+
+} // namespace san::sim
+
+#endif // SAN_SIM_STATS_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the active switch's data buffers and ATB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "active/Atb.hh"
+#include "active/DataBuffer.hh"
+#include "sim/Types.hh"
+
+namespace {
+
+using namespace san::active;
+using namespace san::sim;
+
+TEST(DataBufferPool, AllocateUntilExhausted)
+{
+    DataBufferPool pool;
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_TRUE(pool.allocate().has_value());
+    EXPECT_FALSE(pool.allocate().has_value());
+    EXPECT_EQ(pool.freeCount(), 0u);
+    EXPECT_EQ(pool.allocationFailures(), 1u);
+    EXPECT_EQ(pool.peakInUse(), 16u);
+}
+
+TEST(DataBufferPool, ReleaseRecycles)
+{
+    DataBufferPool pool;
+    auto a = pool.allocate();
+    ASSERT_TRUE(a);
+    pool.release(*a);
+    EXPECT_EQ(pool.freeCount(), 16u);
+    auto b = pool.allocate();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(*b, *a); // LIFO free list recycles the same buffer
+}
+
+TEST(DataBufferPool, LineValidTimesFollowWireRate)
+{
+    DataBufferPool pool;
+    auto id = pool.allocate();
+    ASSERT_TRUE(id);
+    // 512 bytes arriving at 1 byte/ns starting at t=1000ns.
+    pool.fill(*id, ns(1000), 512, 1000.0);
+    // First 32-byte line valid when its last byte is in: t+32ns.
+    EXPECT_EQ(pool.validAt(*id, 0, 32), ns(1032));
+    // Whole buffer valid at t+512ns.
+    EXPECT_EQ(pool.validAt(*id, 0, 512), ns(1512));
+    // A middle line.
+    EXPECT_EQ(pool.validAt(*id, 256, 32), ns(1288));
+    // A single byte in the first line needs only the first line.
+    EXPECT_EQ(pool.validAt(*id, 5, 1), ns(1032));
+}
+
+TEST(DataBufferPool, LocalFillValidImmediately)
+{
+    DataBufferPool pool;
+    auto id = pool.allocate();
+    ASSERT_TRUE(id);
+    pool.fillLocal(*id, 512, ns(77));
+    EXPECT_EQ(pool.validAt(*id, 0, 512), ns(77));
+}
+
+TEST(DataBufferPool, ShortFillTracksPartialBuffer)
+{
+    DataBufferPool pool;
+    auto id = pool.allocate();
+    ASSERT_TRUE(id);
+    pool.fill(*id, 0, 100, 1000.0);
+    EXPECT_EQ(pool.validAt(*id, 0, 100), ns(100));
+    EXPECT_EQ(pool.validAt(*id, 96, 4), ns(100)); // last partial line
+}
+
+TEST(Atb, MapTranslateRoundTrip)
+{
+    Atb atb;
+    ASSERT_TRUE(atb.map(0x1000, 3));
+    auto t = atb.translate(0x1000 + 77);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->first, 3u);
+    EXPECT_EQ(t->second, 77u);
+    EXPECT_FALSE(atb.translate(0x2000).has_value());
+}
+
+TEST(Atb, DirectMappedConflictDetected)
+{
+    Atb atb(16, 512);
+    // Addresses 16 buffers apart map to the same slot.
+    ASSERT_TRUE(atb.map(0, 0));
+    EXPECT_FALSE(atb.map(16 * 512, 1));
+    EXPECT_EQ(atb.conflicts(), 1u);
+    // Different slots coexist.
+    EXPECT_TRUE(atb.map(512, 1));
+    EXPECT_EQ(atb.liveMappings(), 2u);
+}
+
+TEST(Atb, StreamingAddressesNeverConflictWithin16Buffers)
+{
+    // Rising addresses wrap round-robin over the 16 slots: a window
+    // of <= 16 outstanding chunks never conflicts.
+    Atb atb(16, 512);
+    for (unsigned i = 0; i < 64; ++i) {
+        EXPECT_TRUE(atb.map(i * 512, i % 16));
+        if (i >= 15) {
+            // Keep the window at 16 by releasing the oldest.
+            auto freed = atb.releaseBelow((i - 14) * 512);
+            EXPECT_EQ(freed.size(), 1u);
+        }
+    }
+}
+
+TEST(Atb, ReleaseBelowFreesWholeObjects)
+{
+    Atb atb(16, 512);
+    atb.map(0, 0);
+    atb.map(512, 1);
+    atb.map(1024, 2);
+    // Deallocate_Buffer(1024): everything strictly below 1024.
+    auto freed = atb.releaseBelow(1024);
+    ASSERT_EQ(freed.size(), 2u);
+    EXPECT_EQ(atb.liveMappings(), 1u);
+    EXPECT_TRUE(atb.translate(1024).has_value());
+    EXPECT_FALSE(atb.translate(0).has_value());
+}
+
+TEST(Atb, ReleaseBelowMidBufferKeepsThatBuffer)
+{
+    Atb atb(16, 512);
+    atb.map(0, 0);
+    // End address inside the buffer: the buffer is NOT freed (only
+    // buffers with all valid addresses < end are released).
+    auto freed = atb.releaseBelow(511);
+    EXPECT_TRUE(freed.empty());
+    EXPECT_TRUE(atb.translate(0).has_value());
+}
+
+TEST(Atb, ReleaseSingleMapping)
+{
+    Atb atb(16, 512);
+    atb.map(2048, 5);
+    EXPECT_TRUE(atb.release(2048));
+    EXPECT_FALSE(atb.release(2048));
+    EXPECT_FALSE(atb.translate(2048).has_value());
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * MD5 correctness: RFC 1321 test vectors and properties of the
+ * K-chain interleaved variant used by the multi-CPU experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/Md5.hh"
+#include "sim/Random.hh"
+
+namespace {
+
+using namespace san::apps;
+
+std::vector<std::uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321Vectors)
+{
+    EXPECT_EQ(toHex(md5(bytes(""))),
+              "d41d8cd98f00b204e9800998ecf8427e");
+    EXPECT_EQ(toHex(md5(bytes("a"))),
+              "0cc175b9c0f1b6a831c399e269772661");
+    EXPECT_EQ(toHex(md5(bytes("abc"))),
+              "900150983cd24fb0d6963f7d28e17f72");
+    EXPECT_EQ(toHex(md5(bytes("message digest"))),
+              "f96b697d7cb7938d525a2f31aaf161d0");
+    EXPECT_EQ(toHex(md5(bytes("abcdefghijklmnopqrstuvwxyz"))),
+              "c3fcd3d76192e4007dfb496cca67e13b");
+    EXPECT_EQ(toHex(md5(bytes("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghij"
+                              "klmnopqrstuvwxyz0123456789"))),
+              "d174ab98d277d9f5a5611c2c9f419d9f");
+    EXPECT_EQ(toHex(md5(bytes("1234567890123456789012345678901234567890"
+                              "1234567890123456789012345678901234567890"))),
+              "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalEqualsOneShot)
+{
+    const auto data = bytes("The quick brown fox jumps over the lazy dog");
+    Md5 ctx;
+    for (std::size_t i = 0; i < data.size(); i += 7)
+        ctx.update(data.data() + i, std::min<std::size_t>(7, data.size() - i));
+    EXPECT_EQ(toHex(ctx.finish()), toHex(md5(data)));
+}
+
+TEST(Md5, BlockCounterAdvances)
+{
+    Md5 ctx;
+    std::vector<std::uint8_t> block(128, 0x5a);
+    ctx.update(block.data(), block.size());
+    EXPECT_EQ(ctx.blocksProcessed(), 2u);
+}
+
+TEST(Md5Interleaved, K1IsDigestOfDigest)
+{
+    // K = 1 degenerates to md5(md5(data)): one chain, recombined.
+    const auto data = bytes("hello world, this is a chained test");
+    const Md5Digest inner = md5(data);
+    std::vector<std::uint8_t> combined(inner.begin(), inner.end());
+    EXPECT_EQ(toHex(md5Interleaved(data, 1)), toHex(md5(combined)));
+}
+
+TEST(Md5Interleaved, DifferentKDifferentDigest)
+{
+    std::vector<std::uint8_t> data(4096);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 131);
+    const auto d1 = md5Interleaved(data, 1);
+    const auto d2 = md5Interleaved(data, 2);
+    const auto d4 = md5Interleaved(data, 4);
+    EXPECT_NE(toHex(d1), toHex(d2));
+    EXPECT_NE(toHex(d2), toHex(d4));
+}
+
+TEST(Md5Interleaved, MatchesManualChainRecombination)
+{
+    // Rebuild the K-chain digest by hand: chain i gets blocks
+    // i, i+K, i+2K, ... of 64 bytes.
+    std::vector<std::uint8_t> data(1000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    const unsigned k = 3;
+    std::vector<Md5> chains(k);
+    std::size_t off = 0;
+    unsigned block = 0;
+    while (off < data.size()) {
+        const std::size_t take = std::min<std::size_t>(64,
+                                                       data.size() - off);
+        chains[block % k].update(data.data() + off, take);
+        off += take;
+        ++block;
+    }
+    std::vector<std::uint8_t> combined;
+    for (auto &c : chains) {
+        auto d = c.finish();
+        combined.insert(combined.end(), d.begin(), d.end());
+    }
+    EXPECT_EQ(toHex(md5Interleaved(data, k)), toHex(md5(combined)));
+}
+
+class Md5Property : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(Md5Property, DeterministicAcrossCalls)
+{
+    san::sim::Random rng(GetParam());
+    std::vector<std::uint8_t> data(rng.between(1, 5000));
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(toHex(md5(data)), toHex(md5(data)));
+    for (unsigned k : {1u, 2u, 4u})
+        EXPECT_EQ(toHex(md5Interleaved(data, k)),
+                  toHex(md5Interleaved(data, k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Md5Property,
+                         ::testing::Values(1, 7, 13, 99));
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests of the deterministic workload generators the benchmarks rely
+ * on (frame layout, match placement, record routing, reduction
+ * vectors) — the "data" half of each application.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/DetHash.hh"
+#include "apps/Grep.hh"
+#include "apps/MpegFilter.hh"
+#include "apps/ParallelSort.hh"
+#include "apps/Reduction.hh"
+
+namespace {
+
+using namespace san::apps;
+
+TEST(DetHash, DeterministicAndSpread)
+{
+    EXPECT_EQ(detHash(1, 2), detHash(1, 2));
+    EXPECT_NE(detHash(1, 2), detHash(1, 3));
+    EXPECT_NE(detHash(1, 2), detHash(2, 2));
+    // Roughly uniform chance.
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += detChance(42, static_cast<std::uint64_t>(i), 0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(MpegWorkload, PFrameShareMatchesPaper)
+{
+    MpegParams p;
+    const std::uint64_t i_bytes = iBytesInRange(p, 0, p.fileBytes);
+    const double p_share =
+        1.0 - static_cast<double>(i_bytes) / p.fileBytes;
+    // Paper: about 63.5% of the data are P frames.
+    EXPECT_NEAR(p_share, 0.635, 0.01);
+}
+
+TEST(MpegWorkload, RangesTileExactly)
+{
+    MpegParams p;
+    // Summing I bytes over disjoint chunks equals the whole-file
+    // count, no matter the chunking.
+    for (std::uint64_t chunk : {512ull, 4096ull, 65536ull}) {
+        std::uint64_t total = 0;
+        for (std::uint64_t off = 0; off < p.fileBytes; off += chunk)
+            total += iBytesInRange(
+                p, off, std::min(chunk, p.fileBytes - off));
+        EXPECT_EQ(total, iBytesInRange(p, 0, p.fileBytes))
+            << "chunk=" << chunk;
+    }
+}
+
+TEST(MpegWorkload, FrameCountConsistent)
+{
+    MpegParams p;
+    const std::uint64_t gop =
+        p.iFrameBytes + p.pFramesPerGop * p.pFrameBytes;
+    const std::uint64_t full_gops = p.fileBytes / gop;
+    const std::uint64_t frames = framesInRange(p, 0, p.fileBytes);
+    // Every complete GOP contributes 1 I + pFramesPerGop P frames.
+    EXPECT_GE(frames, full_gops * (1 + p.pFramesPerGop));
+    EXPECT_LE(frames, (full_gops + 1) * (1 + p.pFramesPerGop));
+}
+
+TEST(GrepWorkload, FileDividesIntoExactLines)
+{
+    GrepParams p;
+    EXPECT_EQ(p.fileBytes % p.lineBytes, 0u);
+}
+
+TEST(SortWorkload, DestinationsBalancedAndDeterministic)
+{
+    SortParams p;
+    std::vector<std::uint64_t> bins(p.nodes, 0);
+    const std::uint64_t records = 40000;
+    for (std::uint64_t r = 0; r < records; ++r) {
+        const unsigned d = sortDestination(p, r);
+        ASSERT_LT(d, p.nodes);
+        ++bins[d];
+        EXPECT_EQ(d, sortDestination(p, r));
+    }
+    for (unsigned n = 0; n < p.nodes; ++n)
+        EXPECT_NEAR(static_cast<double>(bins[n]) / records,
+                    1.0 / p.nodes, 0.02);
+}
+
+TEST(ReductionWorkload, ReferenceIsElementwiseSum)
+{
+    ReductionParams p;
+    p.nodes = 4;
+    auto ref = reduceReference(p);
+    ASSERT_EQ(ref.size(), p.vectorBytes / p.elementBytes);
+    // Spot-check a few elements against manual summation.
+    for (unsigned e : {0u, 17u, 127u}) {
+        std::int32_t sum = 0;
+        for (unsigned n = 0; n < p.nodes; ++n)
+            sum += nodeVector(p, n)[e];
+        EXPECT_EQ(ref[e], sum);
+    }
+}
+
+TEST(ReductionWorkload, NodeVectorsDiffer)
+{
+    ReductionParams p;
+    EXPECT_NE(nodeVector(p, 0), nodeVector(p, 1));
+    EXPECT_EQ(nodeVector(p, 3), nodeVector(p, 3));
+}
+
+} // namespace

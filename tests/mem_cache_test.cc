@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit and property tests for the cache, TLB and RDRAM models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/Cache.hh"
+#include "mem/Rdram.hh"
+#include "mem/Tlb.hh"
+#include "sim/Random.hh"
+
+namespace {
+
+using namespace san::mem;
+using namespace san::sim;
+
+CacheParams
+tiny(unsigned size, unsigned assoc, unsigned line, bool classify = true)
+{
+    return CacheParams{"tiny", size, assoc, line, classify};
+}
+
+TEST(Cache, FirstTouchIsColdMissThenHit)
+{
+    Cache c(tiny(1024, 2, 64));
+    auto first = c.access(0x1000, false);
+    EXPECT_FALSE(first.hit);
+    EXPECT_EQ(first.missClass, MissClass::Cold);
+    auto second = c.access(0x1000 + 63, false); // same line
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsedWay)
+{
+    // 2-way, 64 B lines, 2 sets (256 B total).
+    Cache c(tiny(256, 2, 64));
+    // Three lines mapping to set 0: line addresses 0, 2, 4.
+    c.access(0 * 64, false);
+    c.access(2 * 64, false);
+    c.access(0 * 64, false);   // refresh line 0; line 2 is now LRU
+    c.access(4 * 64, false);   // evicts line 2
+    EXPECT_TRUE(c.contains(0 * 64));
+    EXPECT_FALSE(c.contains(2 * 64));
+    EXPECT_TRUE(c.contains(4 * 64));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache c(tiny(128, 1, 64)); // direct-mapped, 2 sets
+    c.access(0, true);          // dirty line 0 in set 0
+    auto res = c.access(2 * 64, false); // same set, evicts dirty line
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, ConflictVsCapacityClassification)
+{
+    // Direct-mapped 2-set cache: lines 0 and 2 conflict while the
+    // total working set (2 lines) fits in capacity.
+    Cache c(tiny(128, 1, 64));
+    c.access(0 * 64, false);  // cold
+    c.access(2 * 64, false);  // cold, evicts 0
+    c.access(0 * 64, false);  // miss again: conflict (fits FA shadow)
+    EXPECT_EQ(c.coldMisses(), 2u);
+    EXPECT_EQ(c.conflictMisses(), 1u);
+    EXPECT_EQ(c.capacityMisses(), 0u);
+}
+
+TEST(Cache, CapacityMissWhenWorkingSetExceedsSize)
+{
+    // Fully-associative 2-line cache; stream 3 lines cyclically.
+    Cache c(tiny(128, 2, 64));
+    for (int round = 0; round < 2; ++round)
+        for (Addr line = 0; line < 3; ++line)
+            c.access(line * 64, false);
+    EXPECT_EQ(c.coldMisses(), 3u);
+    EXPECT_GT(c.capacityMisses(), 0u);
+    EXPECT_EQ(c.conflictMisses(), 0u);
+}
+
+TEST(Cache, InvalidateAllEmptiesCache)
+{
+    Cache c(tiny(1024, 2, 64));
+    c.access(0x40, false);
+    EXPECT_TRUE(c.contains(0x40));
+    c.invalidateAll();
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(Cache, SequentialStreamMissesOncePerLine)
+{
+    Cache c(tiny(32 * 1024, 2, 128, false));
+    const std::uint64_t bytes = 64 * 1024;
+    for (Addr a = 0; a < bytes; a += 8)
+        c.access(a, false);
+    EXPECT_EQ(c.misses(), bytes / 128);
+    EXPECT_EQ(c.hits(), bytes / 8 - bytes / 128);
+}
+
+/** Property: hits + misses == accesses, misses >= distinct lines. */
+class CacheProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned,
+                                                 unsigned>>
+{};
+
+TEST_P(CacheProperty, AccountingInvariants)
+{
+    auto [size, assoc, line] = GetParam();
+    Cache c(tiny(size, assoc, line));
+    Random rng(size * 31 + assoc * 7 + line);
+    const int n = 5000;
+    std::uint64_t accesses = 0;
+    for (int i = 0; i < n; ++i) {
+        c.access(rng.below(64 * 1024), rng.chance(0.3));
+        ++accesses;
+    }
+    EXPECT_EQ(c.hits() + c.misses(), accesses);
+    EXPECT_EQ(c.coldMisses() + c.capacityMisses() + c.conflictMisses(),
+              c.misses());
+    EXPECT_LE(c.writebacks(), c.misses());
+    EXPECT_GE(c.missRate(), 0.0);
+    EXPECT_LE(c.missRate(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(std::tuple{1024u, 1u, 32u},
+                      std::tuple{1024u, 2u, 32u},
+                      std::tuple{4096u, 2u, 64u},
+                      std::tuple{8192u, 4u, 128u},
+                      std::tuple{512u, 8u, 64u}));
+
+TEST(Tlb, HitAfterFillAndLruEviction)
+{
+    Tlb tlb(2, 4096);
+    EXPECT_FALSE(tlb.access(0x0000));      // page 0 miss
+    EXPECT_TRUE(tlb.access(0x0800));       // page 0 hit
+    EXPECT_FALSE(tlb.access(0x1000));      // page 1 miss
+    EXPECT_FALSE(tlb.access(0x2000));      // page 2 miss, evicts page 0
+    EXPECT_FALSE(tlb.access(0x0000));      // page 0 again: miss
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 4u);
+}
+
+TEST(Tlb, FlushForgetsEverything)
+{
+    Tlb tlb(64, 4096);
+    tlb.access(0);
+    tlb.flush();
+    EXPECT_FALSE(tlb.access(0));
+}
+
+TEST(Rdram, PageHitFasterThanMiss)
+{
+    Rdram mem;
+    auto miss = mem.access(0, 128, 0);
+    EXPECT_FALSE(miss.pageHit);
+    auto hit = mem.access(128, 128, miss.complete);
+    EXPECT_TRUE(hit.pageHit);
+    EXPECT_EQ(miss.complete - miss.start, ns(122) + ns(80));
+    EXPECT_EQ(hit.complete - hit.start, ns(100) + ns(80));
+}
+
+TEST(Rdram, ChannelOccupancySerializesAccesses)
+{
+    Rdram mem;
+    auto a = mem.access(0, 128, 0);
+    auto b = mem.access(1 * san::sim::MiB, 128, 0); // different bank
+    // Second access cannot start before the first releases the bus.
+    EXPECT_EQ(b.start, a.start + ns(80));
+}
+
+TEST(Rdram, BandwidthBoundStreaming)
+{
+    // 1 MB of pipelined 128 B line fills (all issued immediately)
+    // completes at channel bandwidth: ~1MB / 1.6GB/s plus one access
+    // latency at the tail.
+    Rdram mem;
+    Tick done = 0;
+    for (Addr a = 0; a < MiB; a += 128)
+        done = std::max(done, mem.access(a, 128, 0).complete);
+    const double seconds = toSeconds(done);
+    EXPECT_GE(seconds, 1.0 * MiB / 1.6e9);
+    EXPECT_LE(seconds, 1.0 * MiB / 1.6e9 + 200e-9);
+    EXPECT_EQ(mem.bytesTransferred(), MiB);
+}
+
+TEST(Rdram, DistinctBanksTrackDistinctPages)
+{
+    RdramParams p;
+    p.banks = 2;
+    p.pageBytes = 1024;
+    Rdram mem(p);
+    Tick t = 0;
+    t = mem.access(0, 64, t).complete;        // bank 0, page 0
+    t = mem.access(1024, 64, t).complete;     // bank 1, page 1
+    auto again0 = mem.access(64, 64, t);      // bank 0 page 0: hit
+    auto again1 = mem.access(1024 + 64, 64, again0.complete);
+    EXPECT_TRUE(again0.pageHit);
+    EXPECT_TRUE(again1.pageHit);
+}
+
+} // namespace

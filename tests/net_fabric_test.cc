@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Integration tests: switches, routing, and end-to-end fabric
+ * latency/bandwidth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/Fabric.hh"
+#include "sim/Random.hh"
+#include "sim/Simulation.hh"
+
+namespace {
+
+using namespace san;
+using namespace san::sim;
+using namespace san::net;
+
+struct TwoHostFixture {
+    Simulation s;
+    Fabric fabric{s};
+    Switch *sw;
+    Adapter *a;
+    Adapter *b;
+
+    TwoHostFixture()
+    {
+        sw = &fabric.addSwitch(SwitchParams{8});
+        a = &fabric.addAdapter("hostA");
+        b = &fabric.addAdapter("hostB");
+        fabric.connect(*sw, 0, *a);
+        fabric.connect(*sw, 1, *b);
+        fabric.computeRoutes();
+    }
+};
+
+TEST(Fabric, SingleSwitchDeliversMessage)
+{
+    TwoHostFixture f;
+    f.a->sendMessage(f.b->id(), 512);
+    Message got{};
+    bool received = false;
+    f.s.spawn([](Adapter &rx, Message &out, bool &flag) -> Task {
+        out = co_await rx.recvQueue().pop();
+        flag = true;
+    }(*f.b, got, received));
+    f.s.run();
+    ASSERT_TRUE(received);
+    EXPECT_EQ(got.src, f.a->id());
+    EXPECT_EQ(got.bytes, 512u);
+}
+
+TEST(Fabric, OneHopLatencyIncludesRoutingAndSerialization)
+{
+    TwoHostFixture f;
+    f.a->sendMessage(f.b->id(), 512);
+    Message got{};
+    f.s.spawn([](Adapter &rx, Message &out) -> Task {
+        out = co_await rx.recvQueue().pop();
+    }(*f.b, got));
+    f.s.run();
+    // Virtual cut-through: header time (16 ns) + 100 ns routing +
+    // one full serialization (528 ns) + two propagation delays.
+    EXPECT_EQ(got.completedAt, ns(16 + 100 + 528 + 10));
+}
+
+TEST(Fabric, BidirectionalTrafficDoesNotInterfere)
+{
+    TwoHostFixture f;
+    f.a->sendMessage(f.b->id(), 512);
+    f.b->sendMessage(f.a->id(), 512);
+    Message at_b{}, at_a{};
+    f.s.spawn([](Adapter &rx, Message &out) -> Task {
+        out = co_await rx.recvQueue().pop();
+    }(*f.b, at_b));
+    f.s.spawn([](Adapter &rx, Message &out) -> Task {
+        out = co_await rx.recvQueue().pop();
+    }(*f.a, at_a));
+    f.s.run();
+    // Full duplex: both complete at the same time.
+    EXPECT_EQ(at_b.completedAt, at_a.completedAt);
+}
+
+TEST(Fabric, LargeMessageStreamsAtLinkBandwidth)
+{
+    TwoHostFixture f;
+    const std::uint64_t bytes = 1 * MiB;
+    f.a->sendMessage(f.b->id(), bytes);
+    Message got{};
+    f.s.spawn([](Adapter &rx, Message &out) -> Task {
+        out = co_await rx.recvQueue().pop();
+    }(*f.b, got));
+    f.s.run();
+    // 2048 packets x 528 wire bytes at 1 GB/s ~= 1.08 ms; pipelined
+    // across the two hops.
+    const double seconds = toSeconds(got.completedAt);
+    const double ideal = 2048 * 528 / 1e9;
+    EXPECT_GE(seconds, ideal);
+    EXPECT_LE(seconds, ideal * 1.05);
+}
+
+TEST(Fabric, MultiSwitchPathRoutes)
+{
+    Simulation s;
+    Fabric fabric(s);
+    auto &s0 = fabric.addSwitch(SwitchParams{4});
+    auto &s1 = fabric.addSwitch(SwitchParams{4});
+    auto &s2 = fabric.addSwitch(SwitchParams{4});
+    auto &src = fabric.addAdapter("src");
+    auto &dst = fabric.addAdapter("dst");
+    fabric.connect(s0, 0, src);
+    fabric.connect(s2, 0, dst);
+    fabric.connectSwitches(s0, 1, s1, 1);
+    fabric.connectSwitches(s1, 2, s2, 2);
+    fabric.computeRoutes();
+
+    src.sendMessage(dst.id(), 256);
+    Message got{};
+    bool ok = false;
+    s.spawn([](Adapter &rx, Message &out, bool &flag) -> Task {
+        out = co_await rx.recvQueue().pop();
+        flag = true;
+    }(dst, got, ok));
+    s.run();
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(s0.packetsRouted(), 1u);
+    EXPECT_EQ(s1.packetsRouted(), 1u);
+    EXPECT_EQ(s2.packetsRouted(), 1u);
+}
+
+TEST(Fabric, RoutesToSwitchNodeReachDeliverLocal)
+{
+    Simulation s;
+    Fabric fabric(s);
+    auto &s0 = fabric.addSwitch(SwitchParams{4});
+    auto &s1 = fabric.addSwitch(SwitchParams{4});
+    auto &src = fabric.addAdapter("src");
+    fabric.connect(s0, 0, src);
+    fabric.connectSwitches(s0, 1, s1, 1);
+    fabric.computeRoutes();
+
+    // Address the remote switch itself (an active message would do
+    // this); the base switch counts it as local.
+    src.sendMessage(s1.id(), 64);
+    s.run();
+    EXPECT_EQ(s1.packetsLocal(), 1u);
+    EXPECT_EQ(s0.packetsRouted(), 1u);
+}
+
+TEST(Fabric, ByteConservationAcrossFabric)
+{
+    // Property: total payload bytes received == sent across many
+    // random messages between 4 hosts on one switch.
+    Simulation s;
+    Fabric fabric(s);
+    auto &sw = fabric.addSwitch(SwitchParams{8});
+    std::vector<Adapter *> hosts;
+    for (int i = 0; i < 4; ++i) {
+        auto &h = fabric.addAdapter("h" + std::to_string(i));
+        fabric.connect(sw, static_cast<unsigned>(i), h);
+        hosts.push_back(&h);
+    }
+    fabric.computeRoutes();
+
+    std::uint64_t sent = 0;
+    Random rng(7);
+    for (int m = 0; m < 50; ++m) {
+        const int from = static_cast<int>(rng.below(4));
+        int to = static_cast<int>(rng.below(4));
+        if (to == from)
+            to = (to + 1) % 4;
+        const std::uint64_t bytes = rng.between(1, 4096);
+        sent += bytes;
+        hosts[from]->sendMessage(hosts[to]->id(), bytes);
+    }
+    s.run();
+    std::uint64_t received = 0;
+    for (auto *h : hosts)
+        received += h->bytesReceived();
+    EXPECT_EQ(received, sent);
+}
+
+TEST(Fabric, TreeTopologyAllPairsReachable)
+{
+    // Star of switches: one root, three leaves, two hosts per leaf.
+    Simulation s;
+    Fabric fabric(s);
+    auto &root = fabric.addSwitch(SwitchParams{8});
+    std::vector<Adapter *> hosts;
+    for (int l = 0; l < 3; ++l) {
+        auto &leaf = fabric.addSwitch(SwitchParams{8});
+        fabric.connectSwitches(root, static_cast<unsigned>(l), leaf, 7);
+        for (int h = 0; h < 2; ++h) {
+            auto &host = fabric.addAdapter(
+                "h" + std::to_string(l) + std::to_string(h));
+            fabric.connect(leaf, static_cast<unsigned>(h), host);
+            hosts.push_back(&host);
+        }
+    }
+    fabric.computeRoutes();
+
+    for (auto *from : hosts)
+        for (auto *to : hosts)
+            if (from != to)
+                from->sendMessage(to->id(), 100);
+    s.run();
+    for (auto *h : hosts) {
+        EXPECT_EQ(h->messagesReceived(), 5u) << h->name();
+        EXPECT_EQ(h->bytesReceived(), 500u) << h->name();
+    }
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for link serialization, credits, and adapter segmentation /
+ * reassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/Adapter.hh"
+#include "net/Link.hh"
+#include "net/Packet.hh"
+#include "sim/Simulation.hh"
+
+namespace {
+
+using namespace san;
+using namespace san::sim;
+using namespace san::net;
+
+Packet
+makePkt(NodeId src, NodeId dst, std::uint32_t bytes)
+{
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.payloadBytes = bytes;
+    p.messageBytes = bytes;
+    return p;
+}
+
+TEST(Link, SerializationTimeMatchesBandwidth)
+{
+    Simulation s;
+    LinkParams lp;
+    lp.bandwidthBytesPerSec = 1e9;
+    lp.propagation = 0;
+    Link link(s, "l", lp);
+    std::vector<Arrival> got;
+    link.setSink([&](const Arrival &a) { got.push_back(a); });
+    link.send(makePkt(0, 1, 512));
+    s.run();
+    ASSERT_EQ(got.size(), 1u);
+    // 512 B payload + 16 B header at 1 byte/ns.
+    EXPECT_EQ(got[0].end, ns(528));
+    EXPECT_EQ(got[0].start, 0u);
+}
+
+TEST(Link, BackToBackPacketsSerialize)
+{
+    Simulation s;
+    LinkParams lp;
+    lp.propagation = 0;
+    Link link(s, "l", lp);
+    std::vector<Tick> ends;
+    link.setSink([&](const Arrival &a) {
+        ends.push_back(a.end);
+        link.returnCredit();
+    });
+    link.send(makePkt(0, 1, 512));
+    link.send(makePkt(0, 1, 512));
+    s.run();
+    ASSERT_EQ(ends.size(), 2u);
+    EXPECT_EQ(ends[0], ns(528));
+    EXPECT_EQ(ends[1], ns(1056));
+}
+
+TEST(Link, CreditsGateTransmission)
+{
+    Simulation s;
+    LinkParams lp;
+    lp.credits = 2;
+    lp.propagation = 0;
+    Link link(s, "l", lp);
+    int delivered = 0;
+    link.setSink([&](const Arrival &) { ++delivered; });
+    for (int i = 0; i < 5; ++i)
+        link.send(makePkt(0, 1, 512));
+    s.run();
+    // Only two credits: two deliveries, three stuck in the queue.
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(link.queued(), 3u);
+    EXPECT_EQ(link.credits(), 0u);
+    // Returning credits releases the rest.
+    link.returnCredit();
+    link.returnCredit();
+    link.returnCredit();
+    s.run();
+    EXPECT_EQ(delivered, 5);
+    EXPECT_EQ(link.queued(), 0u);
+}
+
+TEST(Link, CreditConservationProperty)
+{
+    // Credits consumed + credits available == initial credits at any
+    // quiescent point.
+    Simulation s;
+    LinkParams lp;
+    lp.credits = 4;
+    Link link(s, "l", lp);
+    int outstanding = 0;
+    link.setSink([&](const Arrival &) { ++outstanding; });
+    for (int i = 0; i < 10; ++i)
+        link.send(makePkt(0, 1, 64));
+    s.run();
+    EXPECT_EQ(link.credits() + outstanding, 4);
+    while (outstanding > 0) {
+        --outstanding;
+        link.returnCredit();
+    }
+    s.run();
+    EXPECT_EQ(link.packetsSent(), 8u); // 4 + 4 released
+}
+
+TEST(Adapter, SegmentsMessagesIntoMtuPackets)
+{
+    Simulation s;
+    Adapter a(s, "hca", 0);
+    Link out(s, "out", {});
+    Link in(s, "in", {});
+    std::vector<Arrival> wire;
+    out.setSink([&](const Arrival &arr) {
+        wire.push_back(arr);
+        out.returnCredit();
+    });
+    a.attach(out, in);
+    a.sendMessage(9, 1500);
+    s.run();
+    ASSERT_EQ(wire.size(), 3u);
+    EXPECT_EQ(wire[0].pkt.payloadBytes, 512u);
+    EXPECT_EQ(wire[1].pkt.payloadBytes, 512u);
+    EXPECT_EQ(wire[2].pkt.payloadBytes, 476u);
+    EXPECT_FALSE(wire[0].pkt.last);
+    EXPECT_TRUE(wire[2].pkt.last);
+    EXPECT_EQ(wire[0].pkt.messageId, wire[2].pkt.messageId);
+    EXPECT_EQ(wire[0].pkt.messageBytes, 1500u);
+    EXPECT_EQ(a.bytesSent(), 1500u);
+}
+
+TEST(Adapter, ZeroByteMessageStillTravels)
+{
+    Simulation s;
+    Adapter a(s, "hca", 0);
+    Link out(s, "out", {}), in(s, "in", {});
+    int pkts = 0;
+    out.setSink([&](const Arrival &) { ++pkts; });
+    a.attach(out, in);
+    a.sendMessage(3, 0);
+    s.run();
+    EXPECT_EQ(pkts, 1);
+}
+
+TEST(Adapter, ReassemblesBackToBackMessages)
+{
+    Simulation s;
+    Adapter tx(s, "tx", 0), rx(s, "rx", 1);
+    Link fwd(s, "fwd", {}), back(s, "back", {});
+    tx.attach(fwd, back);
+    rx.attach(back, fwd);
+
+    tx.sendMessage(1, 1200);
+    tx.sendMessage(1, 100);
+    std::vector<Message> got;
+    s.spawn([](Adapter &r, std::vector<Message> &out) -> Task {
+        out.push_back(co_await r.recvQueue().pop());
+        out.push_back(co_await r.recvQueue().pop());
+    }(rx, got));
+    s.run();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].bytes, 1200u);
+    EXPECT_EQ(got[1].bytes, 100u);
+    EXPECT_EQ(got[0].src, 0u);
+    EXPECT_LT(got[0].firstArrival, got[0].completedAt);
+    EXPECT_EQ(rx.bytesReceived(), 1300u);
+    EXPECT_EQ(rx.messagesReceived(), 2u);
+}
+
+TEST(Adapter, ActiveHeaderRidesEveryPacket)
+{
+    Simulation s;
+    Adapter a(s, "hca", 0);
+    Link out(s, "out", {}), in(s, "in", {});
+    std::vector<Packet> pkts;
+    out.setSink([&](const Arrival &arr) {
+        pkts.push_back(arr.pkt);
+        out.returnCredit();
+    });
+    a.attach(out, in);
+    ActiveHeader hdr{5, 0xdeadbeef, 2};
+    a.sendMessage(7, 1024, hdr);
+    s.run();
+    ASSERT_EQ(pkts.size(), 2u);
+    for (const auto &p : pkts) {
+        EXPECT_TRUE(p.active);
+        EXPECT_EQ(p.activeHdr.handlerId, 5);
+        EXPECT_EQ(p.activeHdr.address, 0xdeadbeefu);
+        EXPECT_EQ(p.activeHdr.cpuId, 2);
+    }
+}
+
+} // namespace

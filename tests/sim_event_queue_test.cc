@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and property tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/EventQueue.hh"
+#include "sim/Random.hh"
+#include "sim/Types.hh"
+
+namespace {
+
+using namespace san::sim;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextEventTick(), maxTick);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(ns(30), [&] { order.push_back(3); });
+    q.schedule(ns(10), [&] { order.push_back(1); });
+    q.schedule(ns(20), [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), ns(30));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(ns(5), [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, SchedulingInThePastClampsToNow)
+{
+    EventQueue q;
+    Tick seen = maxTick;
+    q.schedule(ns(100), [&] {
+        q.schedule(ns(1), [&] { seen = q.now(); }); // "in the past"
+    });
+    q.run();
+    EXPECT_EQ(seen, ns(100));
+}
+
+TEST(EventQueue, AfterSchedulesRelativeToNow)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(ns(10), [&] { q.after(ns(5), [&] { seen = q.now(); }); });
+    q.run();
+    EXPECT_EQ(seen, ns(15));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    // An event scheduling another event at the same tick runs it
+    // in the same pass.
+    EventQueue q;
+    int depth = 0;
+    q.schedule(0, [&] {
+        q.schedule(0, [&] {
+            q.schedule(0, [&] { depth = 3; });
+            depth = 2;
+        });
+        depth = 1;
+    });
+    q.run();
+    EXPECT_EQ(depth, 3);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        q.schedule(ns(i * 10), [&] { ++count; });
+    q.runUntil(ns(50));
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), ns(50));
+    q.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenDrained)
+{
+    EventQueue q;
+    q.runUntil(ns(123));
+    EXPECT_EQ(q.now(), ns(123));
+}
+
+/** Property: N random events always execute in nondecreasing order. */
+class EventQueueProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(EventQueueProperty, RandomLoadsExecuteSorted)
+{
+    Random rng(GetParam());
+    EventQueue q;
+    std::vector<Tick> fired;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        Tick when = rng.below(1000000);
+        q.schedule(when, [&fired, &q] { fired.push_back(q.now()); });
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(n));
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LE(fired[i - 1], fired[i]);
+    EXPECT_EQ(q.executedEvents(), static_cast<std::uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
+                         ::testing::Values(1, 2, 3, 42, 0xdeadbeef));
+
+TEST(Types, UnitConversions)
+{
+    EXPECT_EQ(ns(1), ps(1000));
+    EXPECT_EQ(us(1), ns(1000));
+    EXPECT_EQ(ms(1), us(1000));
+    EXPECT_EQ(sec(1), ms(1000));
+    EXPECT_DOUBLE_EQ(toSeconds(sec(2)), 2.0);
+    EXPECT_DOUBLE_EQ(toMicros(us(7)), 7.0);
+}
+
+TEST(Types, FrequencyCycleMath)
+{
+    Frequency host(2'000'000'000);   // 2 GHz
+    Frequency sw(500'000'000);       // 500 MHz
+    EXPECT_EQ(host.period(), ps(500));
+    EXPECT_EQ(sw.period(), ps(2000));
+    EXPECT_EQ(host.cycles(4), ns(2));
+    EXPECT_EQ(sw.cyclesCeil(ns(2)), 1u);
+    EXPECT_EQ(sw.cyclesCeil(ns(3)), 2u);
+}
+
+TEST(Types, TransferTime)
+{
+    // 1 GB/s -> 1 byte per ns.
+    PsPerByte gbs = bytesPerSec(1e9);
+    EXPECT_EQ(transferTime(512, gbs), ns(512));
+    // 1.6 GB/s RDRAM: 128 bytes = 80 ns.
+    EXPECT_EQ(transferTime(128, bytesPerSec(1.6e9)), ns(80));
+}
+
+} // namespace

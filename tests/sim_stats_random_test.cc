@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for statistics containers and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/Random.hh"
+#include "sim/Stats.hh"
+
+namespace {
+
+using namespace san::sim;
+
+TEST(Counter, AccumulatesAndResets)
+{
+    Counter c;
+    c += 2.5;
+    ++c;
+    c++;
+    EXPECT_DOUBLE_EQ(c.value(), 4.5);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(Accumulator, TracksMoments)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1);
+    a.sample(3);
+    a.sample(8);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 12);
+    EXPECT_DOUBLE_EQ(a.min(), 1);
+    EXPECT_DOUBLE_EQ(a.max(), 8);
+    EXPECT_DOUBLE_EQ(a.mean(), 4);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0, 10, 5); // buckets of width 2
+    h.sample(-1);
+    h.sample(0);
+    h.sample(1.9);
+    h.sample(5);
+    h.sample(10);
+    h.sample(99);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.summary().count(), 6u);
+}
+
+TEST(StatGroup, DumpsStableFormat)
+{
+    StatGroup g("disk0");
+    auto &reads = g.counter("reads");
+    auto &lat = g.accumulator("latency");
+    reads += 3;
+    lat.sample(10);
+    lat.sample(20);
+    std::ostringstream oss;
+    g.dump(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("disk0.reads 3"), std::string::npos);
+    EXPECT_NE(text.find("disk0.latency.count 2"), std::string::npos);
+    EXPECT_NE(text.find("disk0.latency.mean 15"), std::string::npos);
+}
+
+TEST(StatGroup, ReferencesStayValidAcrossRegistration)
+{
+    StatGroup g("grp");
+    auto &first = g.counter("first");
+    for (int i = 0; i < 100; ++i)
+        g.counter("c" + std::to_string(i));
+    first += 1;
+    EXPECT_DOUBLE_EQ(first.value(), 1.0);
+}
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+class RandomRange : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RandomRange, BelowStaysInBounds)
+{
+    Random rng(GetParam());
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST_P(RandomRange, BetweenInclusive)
+{
+    Random rng(GetParam());
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.between(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= (v == 5);
+        saw_hi |= (v == 8);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST_P(RandomRange, RealInUnitInterval)
+{
+    Random rng(GetParam());
+    double sum = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+        sum += r;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRange,
+                         ::testing::Values(3, 17, 2026));
+
+} // namespace

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the coroutine task / simulation process model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/Simulation.hh"
+#include "sim/Task.hh"
+
+namespace {
+
+using namespace san::sim;
+
+Task
+delayTwice(Simulation &sim, std::vector<Tick> &log)
+{
+    co_await Delay{ns(10)};
+    log.push_back(sim.now());
+    co_await Delay{ns(5)};
+    log.push_back(sim.now());
+}
+
+TEST(Task, DelaysAdvanceSimulatedTime)
+{
+    Simulation sim;
+    std::vector<Tick> log;
+    sim.spawn(delayTwice(sim, log));
+    sim.run();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], ns(10));
+    EXPECT_EQ(log[1], ns(15));
+    EXPECT_EQ(sim.liveTasks(), 0u);
+}
+
+Task
+child(std::vector<int> &log, int id)
+{
+    log.push_back(id);
+    co_await Delay{ns(1)};
+    log.push_back(id + 100);
+}
+
+Task
+parent(std::vector<int> &log)
+{
+    log.push_back(0);
+    co_await child(log, 1);
+    log.push_back(50);
+    co_await child(log, 2);
+    log.push_back(99);
+}
+
+TEST(Task, AwaitingChildTasksRunsThemToCompletion)
+{
+    Simulation sim;
+    std::vector<int> log;
+    sim.spawn(parent(log));
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 101, 50, 2, 102, 99}));
+}
+
+Task
+interleaveA(Simulation &sim, std::vector<std::pair<char, Tick>> &log)
+{
+    for (int i = 0; i < 3; ++i) {
+        co_await Delay{ns(10)};
+        log.push_back({'a', sim.now()});
+    }
+}
+
+Task
+interleaveB(Simulation &sim, std::vector<std::pair<char, Tick>> &log)
+{
+    for (int i = 0; i < 2; ++i) {
+        co_await Delay{ns(15)};
+        log.push_back({'b', sim.now()});
+    }
+}
+
+TEST(Task, ConcurrentTasksInterleaveByTime)
+{
+    Simulation sim;
+    std::vector<std::pair<char, Tick>> log;
+    sim.spawn(interleaveA(sim, log));
+    sim.spawn(interleaveB(sim, log));
+    sim.run();
+    // At the t=30 tie, B's wakeup was scheduled (at t=15) before A's
+    // (at t=20), so insertion order runs B first.
+    std::vector<std::pair<char, Tick>> expect = {
+        {'a', ns(10)}, {'b', ns(15)}, {'a', ns(20)},
+        {'b', ns(30)}, {'a', ns(30)},
+    };
+    EXPECT_EQ(log, expect);
+}
+
+Task
+thrower()
+{
+    co_await Delay{ns(1)};
+    throw std::runtime_error("boom");
+}
+
+TEST(Task, ExceptionsPropagateOutOfRun)
+{
+    Simulation sim;
+    sim.spawn(thrower());
+    EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task
+throwingChild()
+{
+    co_await Delay{ns(1)};
+    throw std::logic_error("child failed");
+    // Unreachable co_return keeps this a coroutine.
+}
+
+Task
+catchingParent(bool &caught)
+{
+    try {
+        co_await throwingChild();
+    } catch (const std::logic_error &) {
+        caught = true;
+    }
+}
+
+TEST(Task, ParentCanCatchChildException)
+{
+    Simulation sim;
+    bool caught = false;
+    sim.spawn(catchingParent(caught));
+    sim.run();
+    EXPECT_TRUE(caught);
+}
+
+Task
+noop()
+{
+    co_return;
+}
+
+TEST(Task, ImmediateCompletionIsReaped)
+{
+    Simulation sim;
+    for (int i = 0; i < 100; ++i)
+        sim.spawn(noop());
+    sim.run();
+    EXPECT_EQ(sim.liveTasks(), 0u);
+}
+
+ValueTask<int>
+computeAnswer(Tick wait)
+{
+    co_await Delay{wait};
+    co_return 42;
+}
+
+TEST(ValueTask, ReturnsValueToAwaiter)
+{
+    Simulation sim;
+    int got = 0;
+    Tick when = 0;
+    sim.spawn([](Simulation &s, int &out, Tick &t) -> Task {
+        out = co_await computeAnswer(ns(25));
+        t = s.now();
+    }(sim, got, when));
+    sim.run();
+    EXPECT_EQ(got, 42);
+    EXPECT_EQ(when, ns(25));
+}
+
+ValueTask<std::string>
+nested(int depth)
+{
+    if (depth == 0)
+        co_return std::string("leaf");
+    std::string inner = co_await nested(depth - 1);
+    co_return inner + "+" + std::to_string(depth);
+}
+
+TEST(ValueTask, NestsRecursively)
+{
+    Simulation sim;
+    std::string got;
+    sim.spawn([](std::string &out) -> Task {
+        out = co_await nested(3);
+    }(got));
+    sim.run();
+    EXPECT_EQ(got, "leaf+1+2+3");
+}
+
+ValueTask<int>
+valueThrower()
+{
+    co_await Delay{ns(1)};
+    throw std::runtime_error("no value");
+}
+
+TEST(ValueTask, ExceptionPropagatesToAwaiter)
+{
+    Simulation sim;
+    bool caught = false;
+    sim.spawn([](bool &c) -> Task {
+        try {
+            (void)co_await valueThrower();
+        } catch (const std::runtime_error &) {
+            c = true;
+        }
+    }(caught));
+    sim.run();
+    EXPECT_TRUE(caught);
+}
+
+TEST(Task, ZeroDelayStillYields)
+{
+    // A zero-tick delay must still let same-tick events run first.
+    Simulation sim;
+    std::vector<int> order;
+    sim.events().schedule(0, [&] { order.push_back(1); });
+    sim.spawn([](std::vector<int> &ord) -> Task {
+        co_await Delay{0};
+        ord.push_back(2);
+    }(order));
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+} // namespace
