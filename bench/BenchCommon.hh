@@ -3,20 +3,137 @@
  * Shared driver for the per-figure bench binaries: run one benchmark
  * across the four configurations, print the paper's two figure
  * tables, and verify the modes agree semantically.
+ *
+ * Observability flags (see README "Observability"):
+ *   --quick              smaller problem sizes (per-bench choice)
+ *   --stats-json <file>  write per-mode component stats as JSON
+ *   --trace <file>       write a Chrome trace_event file (one trace
+ *                        process per mode)
+ *   --fingerprint        print each mode's 64-bit run fingerprint
  */
 
 #ifndef SAN_BENCH_BENCH_COMMON_HH
 #define SAN_BENCH_BENCH_COMMON_HH
 
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 
+#include "apps/Cluster.hh"
 #include "apps/RunConfig.hh"
 #include "harness/Report.hh"
+#include "harness/StatsReport.hh"
+#include "obs/Hooks.hh"
+#include "obs/Trace.hh"
 
 namespace san::bench {
+
+/** Command-line options shared by every figure bench. */
+struct BenchOptions {
+    bool quick = false;
+    bool fingerprint = false;
+    std::string statsJsonPath;
+    std::string tracePath;
+};
+
+/** The options parsed by init() (defaults if init was never called). */
+inline BenchOptions &
+options()
+{
+    static BenchOptions opts;
+    return opts;
+}
+
+namespace detail {
+
+/** Trace file + exporter kept alive for the whole process. */
+struct TraceState {
+    std::ofstream file;
+    std::unique_ptr<obs::ChromeTracer> tracer;
+};
+
+inline TraceState &
+traceState()
+{
+    static TraceState state;
+    return state;
+}
+
+/** Per-mode JSON stat dumps captured via the cluster observer. */
+inline std::map<std::string, std::string> &
+capturedStats()
+{
+    static std::map<std::string, std::string> stats;
+    return stats;
+}
+
+} // namespace detail
+
+/**
+ * Parse the shared flags and install the requested instrumentation
+ * (tracer hook, stats-capturing cluster observer). Call once at the
+ * top of main(); returns the parsed options.
+ */
+inline BenchOptions &
+init(int argc, char **argv)
+{
+    BenchOptions &opts = options();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opts.quick = true;
+        } else if (std::strcmp(argv[i], "--fingerprint") == 0) {
+            opts.fingerprint = true;
+        } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --stats-json requires a file\n";
+                std::exit(2);
+            }
+            opts.statsJsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --trace requires a file\n";
+                std::exit(2);
+            }
+            opts.tracePath = argv[++i];
+        }
+    }
+
+    if (!opts.tracePath.empty() &&
+        opts.tracePath == opts.statsJsonPath) {
+        std::cerr << "error: --trace and --stats-json must name "
+                     "different files\n";
+        std::exit(2);
+    }
+
+    if (!opts.tracePath.empty()) {
+        auto &ts = detail::traceState();
+        ts.file.open(opts.tracePath);
+        if (ts.file) {
+            ts.tracer = std::make_unique<obs::ChromeTracer>(ts.file);
+            obs::globalTracer() = ts.tracer.get();
+        } else {
+            std::cerr << "cannot open trace file " << opts.tracePath
+                      << "\n";
+        }
+    }
+
+    if (!opts.statsJsonPath.empty()) {
+        apps::clusterObserver() = [](apps::Cluster &cluster,
+                                     apps::Mode mode) {
+            std::ostringstream oss;
+            obs::JsonWriter json(oss);
+            harness::dumpClusterStatsJson(json, cluster);
+            detail::capturedStats()[apps::modeName(mode)] = oss.str();
+        };
+    }
+    return opts;
+}
 
 /** True if --quick appears in the argument list. */
 inline bool
@@ -27,6 +144,40 @@ quickMode(int argc, char **argv)
             return true;
     return false;
 }
+
+namespace detail {
+
+/** Write the per-mode stats captured during runFigure() to disk. */
+inline void
+writeStatsJson(const std::string &path, const std::string &title)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open stats file " << path << "\n";
+        return;
+    }
+    out << "{\n  \"bench\": \"" << title << "\",\n  \"modes\": {";
+    bool first = true;
+    for (const auto &[mode, json] : capturedStats()) {
+        if (!first)
+            out << ",";
+        first = false;
+        // Indent the captured object two levels under "modes".
+        out << "\n    \"" << mode << "\": ";
+        std::istringstream in(json);
+        std::string line;
+        bool first_line = true;
+        while (std::getline(in, line)) {
+            if (!first_line)
+                out << "\n    ";
+            first_line = false;
+            out << line;
+        }
+    }
+    out << "\n  }\n}\n";
+}
+
+} // namespace detail
 
 /**
  * Run @p run_one for all four modes, print overview and/or breakdown
@@ -39,14 +190,32 @@ runFigure(const std::string &overview_title,
           const std::function<apps::RunStats(apps::Mode)> &run_one,
           bool print_overview = true, bool print_breakdown = true)
 {
+    const BenchOptions &opts = options();
     harness::ModeResults results;
-    for (std::size_t i = 0; i < apps::allModes.size(); ++i)
+    for (std::size_t i = 0; i < apps::allModes.size(); ++i) {
+        if (detail::traceState().tracer)
+            detail::traceState().tracer->beginProcess(
+                apps::modeName(apps::allModes[i]));
         results[i] = run_one(apps::allModes[i]);
+    }
 
     if (print_overview)
         harness::printOverview(std::cout, overview_title, results);
     if (print_breakdown)
         harness::printBreakdown(std::cout, breakdown_title, results);
+
+    if (opts.fingerprint)
+        for (const auto &r : results)
+            std::cout << "fingerprint[" << apps::modeName(r.mode)
+                      << "]: 0x" << std::hex << r.fingerprint
+                      << std::dec << "\n";
+    if (!opts.statsJsonPath.empty())
+        detail::writeStatsJson(opts.statsJsonPath,
+                               overview_title.empty() ? breakdown_title
+                                                      : overview_title);
+    if (detail::traceState().tracer)
+        detail::traceState().tracer->finish();
+
     if (!harness::checksumsAgree(results)) {
         std::cerr << "CHECKSUM MISMATCH across modes\n";
         harness::printRaw(std::cerr, results);

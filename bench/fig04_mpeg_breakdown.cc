@@ -11,7 +11,7 @@ int
 main(int argc, char **argv)
 {
     san::apps::MpegParams params;
-    if (san::bench::quickMode(argc, argv))
+    if (san::bench::init(argc, argv).quick)
         params.fileBytes = 512 * 1024;
     return san::bench::runFigure(
         "", "Fig 4: MPEG filter",

@@ -10,7 +10,7 @@ int
 main(int argc, char **argv)
 {
     san::apps::HashJoinParams params;
-    if (san::bench::quickMode(argc, argv)) {
+    if (san::bench::init(argc, argv).quick) {
         params.rBytes = 4ull * 1024 * 1024;
         params.sBytes = 16ull * 1024 * 1024;
     }

@@ -11,31 +11,16 @@
  * Pass --quick to run a 16 MB table instead of the paper's 128 MB.
  */
 
-#include <cstring>
-#include <iostream>
-
+#include "BenchCommon.hh"
 #include "apps/Select.hh"
-#include "harness/Report.hh"
 
 int
 main(int argc, char **argv)
 {
     san::apps::SelectParams params;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--quick") == 0)
-            params.tableBytes = 16ull * 1024 * 1024;
-
-    san::harness::ModeResults results;
-    for (std::size_t i = 0; i < san::apps::allModes.size(); ++i)
-        results[i] = runSelect(san::apps::allModes[i], params);
-
-    san::harness::printOverview(std::cout, "Fig 7: Select", results);
-    san::harness::printBreakdown(std::cout, "Fig 8: Select", results);
-    if (!san::harness::checksumsAgree(results)) {
-        std::cerr << "CHECKSUM MISMATCH across modes\n";
-        san::harness::printRaw(std::cerr, results);
-        return 1;
-    }
-    std::cout << "matching records: " << results[0].checksum << "\n";
-    return 0;
+    if (san::bench::init(argc, argv).quick)
+        params.tableBytes = 16ull * 1024 * 1024;
+    return san::bench::runFigure(
+        "Fig 7: Select", "Fig 8: Select",
+        [&](san::apps::Mode m) { return runSelect(m, params); });
 }

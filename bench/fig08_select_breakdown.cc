@@ -12,7 +12,7 @@ int
 main(int argc, char **argv)
 {
     san::apps::SelectParams params;
-    if (san::bench::quickMode(argc, argv))
+    if (san::bench::init(argc, argv).quick)
         params.tableBytes = 16ull * 1024 * 1024;
     return san::bench::runFigure(
         "", "Fig 8: Select",

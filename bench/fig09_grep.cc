@@ -10,8 +10,7 @@ int
 main(int argc, char **argv)
 {
     san::apps::GrepParams params;
-    (void)argc;
-    (void)argv;
+    san::bench::init(argc, argv);
     return san::bench::runFigure(
         "Fig 9: Grep", "Fig 9: Grep",
         [&](san::apps::Mode m) { return runGrep(m, params); },

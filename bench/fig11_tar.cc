@@ -10,8 +10,7 @@ int
 main(int argc, char **argv)
 {
     san::apps::TarParams params;
-    (void)argc;
-    (void)argv;
+    san::bench::init(argc, argv);
     return san::bench::runFigure(
         "Fig 11: Tar", "Fig 11: Tar",
         [&](san::apps::Mode m) { return runTar(m, params); },

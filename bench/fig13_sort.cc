@@ -10,8 +10,7 @@ int
 main(int argc, char **argv)
 {
     san::apps::SortParams params;
-    (void)argc;
-    (void)argv;
+    san::bench::init(argc, argv);
     return san::bench::runFigure(
         "Fig 13: Parallel sort", "Fig 13: Parallel sort",
         [&](san::apps::Mode m) { return runParallelSort(m, params); },

@@ -10,8 +10,7 @@ int
 main(int argc, char **argv)
 {
     san::apps::SortParams params;
-    (void)argc;
-    (void)argv;
+    san::bench::init(argc, argv);
     return san::bench::runFigure(
         "Fig 14: Parallel sort", "Fig 14: Parallel sort",
         [&](san::apps::Mode m) { return runParallelSort(m, params); },

@@ -168,6 +168,9 @@ ActiveSwitch::deliverLocal(const net::Arrival &arrival)
     }
     // The Dispatch unit decodes the header and consults the jump
     // table in parallel with the payload copy into a data buffer.
+    if (auto *tr = sim_.tracer())
+        tr->span(name(), "dispatch", sim_.now(),
+                 sim_.now() + config_.dispatchLatency);
     sim_.events().after(config_.dispatchLatency,
                         [this, arrival] { dispatch(arrival); });
 }
@@ -185,12 +188,16 @@ ActiveSwitch::dispatch(const net::Arrival &arrival)
                                waiting.pkt.activeHdr.cpuId};
         if (wkey == key) {
             ++dispatchStalls_;
+            if (auto *tr = sim_.tracer())
+                tr->instant(name(), "dispatch-stall", sim_.now());
             pending_.push_back(arrival);
             return;
         }
     }
     if (!tryStage(arrival)) {
         ++dispatchStalls_;
+        if (auto *tr = sim_.tracer())
+            tr->instant(name(), "dispatch-stall", sim_.now());
         pending_.push_back(arrival);
     }
 }
@@ -301,6 +308,11 @@ ActiveSwitch::instanceFor(const net::Packet &pkt)
     assert(inserted);
     ++cpuLoad_[cpu_index];
     ++invoked_;
+    if (auto *tr = sim_.tracer())
+        tr->asyncBegin(name() + ".sp" + std::to_string(cpu_index),
+                       jumpTable_[key.first]->name.c_str(),
+                       (std::uint64_t(key.first) << 8) | key.second,
+                       sim_.now());
     sim_.spawn(runInstance(key, jumpTable_[key.first]->fn));
     return pos->second;
 }
@@ -322,6 +334,12 @@ ActiveSwitch::runInstance(InstanceKey key, HandlerFn fn)
     auto it = instances_.find(key);
     assert(it != instances_.end());
     --cpuLoad_[it->second.cpuIndex];
+    if (auto *tr = sim_.tracer())
+        tr->asyncEnd(name() + ".sp" +
+                         std::to_string(it->second.cpuIndex),
+                     jumpTable_[key.first]->name.c_str(),
+                     (std::uint64_t(key.first) << 8) | key.second,
+                     sim_.now());
     instances_.erase(it);
 }
 

@@ -2,12 +2,23 @@
 
 #include <cassert>
 
+#include "obs/Hooks.hh"
+
 namespace san::apps {
+
+ClusterObserver &
+clusterObserver()
+{
+    static ClusterObserver observer;
+    return observer;
+}
 
 Cluster::Cluster(const ClusterParams &params)
     : params_(params), fabric_(sim_, params.link, params.adapter)
 {
     assert(params.hosts + params.storageNodes <= params.switchPorts);
+    sim_.setTracer(obs::globalTracer());
+    sim_.events().setObserver(&fingerprint_);
     sw_ = &fabric_.addSwitch<active::ActiveSwitch>(
         net::SwitchParams{params.switchPorts}, params.active);
 
@@ -45,6 +56,26 @@ Cluster::collect(Mode mode)
     if (isActive(mode))
         for (unsigned i = 0; i < sw_->cpuCount(); ++i)
             stats.switchCpus.push_back(sw_->cpu(i).breakdown(end));
+
+    // Fold the end-of-run stat values on top of the per-event stream
+    // so a run with identical timing but different results still
+    // yields a different fingerprint.
+    fingerprint_.foldStat("execTime", static_cast<double>(end));
+    fingerprint_.foldStat("hostIoBytes",
+                          static_cast<double>(stats.hostIoBytes));
+    for (const auto &h : stats.hosts) {
+        fingerprint_.foldStat("host.busy", static_cast<double>(h.busy));
+        fingerprint_.foldStat("host.stall",
+                              static_cast<double>(h.stall));
+    }
+    for (const auto &s : stats.switchCpus) {
+        fingerprint_.foldStat("sp.busy", static_cast<double>(s.busy));
+        fingerprint_.foldStat("sp.stall", static_cast<double>(s.stall));
+    }
+    stats.fingerprint = fingerprint_.value();
+
+    if (clusterObserver())
+        clusterObserver()(*this, mode);
     return stats;
 }
 

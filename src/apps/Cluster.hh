@@ -7,6 +7,7 @@
 #ifndef SAN_APPS_CLUSTER_HH
 #define SAN_APPS_CLUSTER_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "host/Host.hh"
 #include "io/StorageNode.hh"
 #include "net/Fabric.hh"
+#include "obs/Fingerprint.hh"
 #include "sim/Simulation.hh"
 
 namespace san::apps {
@@ -56,17 +58,35 @@ class Cluster
         return static_cast<unsigned>(storage_.size());
     }
 
+    /**
+     * The run fingerprint, folded over every executed event since
+     * construction (see obs::RunFingerprint). collect() folds the
+     * end-of-run stat values on top and reports it in RunStats.
+     */
+    obs::RunFingerprint &fingerprint() { return fingerprint_; }
+
     /** Run to completion and collect the paper's metrics. */
     RunStats collect(Mode mode);
 
   private:
     ClusterParams params_;
     sim::Simulation sim_;
+    obs::RunFingerprint fingerprint_;
     net::Fabric fabric_;
     active::ActiveSwitch *sw_ = nullptr;
     std::vector<std::unique_ptr<host::Host>> hosts_;
     std::vector<std::unique_ptr<io::StorageNode>> storage_;
 };
+
+/**
+ * Hook called at the end of every Cluster::collect(), while the
+ * cluster and its components are still alive. The bench driver and
+ * the golden-stats tests use it to export machine-readable stats
+ * from runs whose Cluster is otherwise an implementation detail of
+ * the per-app run functions. Empty (default) means disabled.
+ */
+using ClusterObserver = std::function<void(Cluster &, Mode)>;
+ClusterObserver &clusterObserver();
 
 } // namespace san::apps
 

@@ -71,6 +71,13 @@ struct RunStats {
     /** Bytes in+out of host HCAs (the paper's host I/O traffic). */
     std::uint64_t hostIoBytes = 0;
 
+    /**
+     * Run fingerprint: a 64-bit hash of every executed event plus the
+     * end-of-run stat values (see obs::RunFingerprint). Two runs of
+     * the same configuration must produce the same fingerprint.
+     */
+    std::uint64_t fingerprint = 0;
+
     /** Optional semantic check result (digest, match count...). */
     std::string checksum;
 

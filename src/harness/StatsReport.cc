@@ -27,6 +27,31 @@ dumpTlb(std::ostream &os, const std::string &prefix, mem::Tlb &t)
        << prefix << ".misses " << t.misses() << '\n';
 }
 
+void
+dumpCacheJson(obs::JsonWriter &json, mem::Cache &c)
+{
+    json.beginObject();
+    json.kv("hits", c.hits());
+    json.kv("misses", c.misses());
+    json.kv("missRate", c.missRate());
+    json.kv("writebacks", c.writebacks());
+    if (c.params().classifyMisses) {
+        json.kv("coldMisses", c.coldMisses());
+        json.kv("capacityMisses", c.capacityMisses());
+        json.kv("conflictMisses", c.conflictMisses());
+    }
+    json.endObject();
+}
+
+void
+dumpTlbJson(obs::JsonWriter &json, mem::Tlb &t)
+{
+    json.beginObject();
+    json.kv("hits", t.hits());
+    json.kv("misses", t.misses());
+    json.endObject();
+}
+
 } // namespace
 
 void
@@ -101,6 +126,108 @@ dumpClusterStats(std::ostream &os, apps::Cluster &cluster)
            << prefix << ".scsi.transactions " << s.bus().transactions()
            << '\n';
     }
+}
+
+void
+dumpMemoryStatsJson(obs::JsonWriter &json, mem::MemorySystem &ms)
+{
+    json.beginObject();
+    json.key("l1i");
+    dumpCacheJson(json, ms.l1i());
+    json.key("l1d");
+    dumpCacheJson(json, ms.l1d());
+    if (ms.l2()) {
+        json.key("l2");
+        dumpCacheJson(json, *ms.l2());
+    }
+    json.key("itlb");
+    dumpTlbJson(json, ms.itlb());
+    json.key("dtlb");
+    dumpTlbJson(json, ms.dtlb());
+    json.key("dram").beginObject();
+    json.kv("pageHits", ms.dram().pageHits());
+    json.kv("pageMisses", ms.dram().pageMisses());
+    json.kv("bytes", ms.dram().bytesTransferred());
+    json.endObject();
+    json.kv("stallTicks", ms.stallTicks());
+    json.endObject();
+}
+
+void
+dumpClusterStatsJson(obs::JsonWriter &json, apps::Cluster &cluster)
+{
+    json.beginObject();
+    json.kv("execTimePs", cluster.sim().now());
+    json.kv("fingerprint", cluster.fingerprint().value());
+
+    json.key("hosts").beginArray();
+    for (unsigned i = 0; i < cluster.hostCount(); ++i) {
+        auto &h = cluster.host(i);
+        json.beginObject();
+        json.kv("name", h.name());
+        json.key("cpu").beginObject();
+        json.kv("busyTicks", h.cpu().busyTicks());
+        json.kv("stallTicks", h.cpu().stallTicks());
+        json.endObject();
+        json.key("mem");
+        dumpMemoryStatsJson(json, h.cpu().memory());
+        json.key("hca").beginObject();
+        json.kv("bytesSent", h.hca().bytesSent());
+        json.kv("bytesReceived", h.hca().bytesReceived());
+        json.kv("messagesSent", h.hca().messagesSent());
+        json.kv("messagesReceived", h.hca().messagesReceived());
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+
+    auto &sw = cluster.sw();
+    json.key("switch").beginObject();
+    json.kv("name", sw.name());
+    json.kv("packetsRouted", sw.packetsRouted());
+    json.kv("packetsLocal", sw.packetsLocal());
+    json.kv("handlersInvoked", sw.handlersInvoked());
+    json.kv("chunksStaged", sw.chunksStaged());
+    json.kv("dispatchStalls", sw.dispatchStalls());
+    json.key("buffers").beginObject();
+    json.kv("allocations", sw.buffers().allocations());
+    json.kv("peakInUse", sw.buffers().peakInUse());
+    json.kv("allocationFailures", sw.buffers().allocationFailures());
+    json.endObject();
+    json.key("cpus").beginArray();
+    for (unsigned i = 0; i < sw.cpuCount(); ++i) {
+        json.beginObject();
+        json.kv("busyTicks", sw.cpu(i).busyTicks());
+        json.kv("stallTicks", sw.cpu(i).stallTicks());
+        json.key("atb").beginObject();
+        json.kv("mappings", sw.atb(i).mappings());
+        json.kv("conflicts", sw.atb(i).conflicts());
+        json.endObject();
+        json.key("mem");
+        dumpMemoryStatsJson(json, sw.cpu(i).memory());
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    json.key("storage").beginArray();
+    for (unsigned i = 0; i < cluster.storageCount(); ++i) {
+        auto &s = cluster.storage(i);
+        json.beginObject();
+        json.kv("requestsServed", s.requestsServed());
+        json.key("disk").beginObject();
+        json.kv("bytesRead", s.disks().bytesRead());
+        json.kv("seeks", s.disks().seeks());
+        json.endObject();
+        json.key("scsi").beginObject();
+        json.kv("bytes", s.bus().bytesTransferred());
+        json.kv("transactions", s.bus().transactions());
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+
+    json.endObject();
 }
 
 } // namespace san::harness

@@ -12,6 +12,7 @@
 #include <iosfwd>
 
 #include "apps/Cluster.hh"
+#include "obs/Json.hh"
 
 namespace san::harness {
 
@@ -21,6 +22,18 @@ void dumpClusterStats(std::ostream &os, apps::Cluster &cluster);
 /** Dump one memory system's cache/TLB/DRAM counters. */
 void dumpMemoryStats(std::ostream &os, const std::string &prefix,
                      mem::MemorySystem &ms);
+
+/**
+ * Emit one cluster's stats as a JSON object value on @p json:
+ * caches, TLBs, RDRAM, switch, ATBs, buffers, disks and adapters,
+ * plus the simulated end time and the run fingerprint. This is the
+ * machine-readable twin of dumpClusterStats: byte-stable output,
+ * compared against golden files by tests/golden_stats_test.
+ */
+void dumpClusterStatsJson(obs::JsonWriter &json, apps::Cluster &cluster);
+
+/** One memory system as a JSON object value. */
+void dumpMemoryStatsJson(obs::JsonWriter &json, mem::MemorySystem &ms);
 
 } // namespace san::harness
 

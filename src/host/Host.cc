@@ -42,6 +42,9 @@ Host::demux()
             if (reply.last) {
                 p.complete = true;
                 p.completedAt = msg.completedAt;
+                if (auto *tr = sim_.tracer())
+                    tr->asyncEnd(name_, "io", reply.requestId,
+                                 sim_.now());
                 if (p.gate)
                     p.gate->open();
             }
@@ -66,6 +69,8 @@ Host::postRead(net::NodeId storage, std::uint64_t offset,
     req.offset = offset;
     req.bytes = bytes;
     req.replyTo = hca_->id();
+    if (auto *tr = sim_.tracer())
+        tr->asyncBegin(name_, "io", id, sim_.now());
     hca_->sendMessage(storage, io::requestMessageBytes, std::nullopt,
                       io::makeRequestPayload(req), io::tagIoRequest);
     co_return id;
@@ -86,6 +91,8 @@ Host::postReadTo(net::NodeId storage, std::uint64_t offset,
     req.bytes = bytes;
     req.replyTo = reply_to;
     req.replyActive = active;
+    if (auto *tr = sim_.tracer())
+        tr->instant(name_, "post-read-to", sim_.now());
     hca_->sendMessage(storage, io::requestMessageBytes, std::nullopt,
                       io::makeRequestPayload(req), io::tagIoRequest);
     co_return id;

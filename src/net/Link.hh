@@ -96,6 +96,8 @@ class Link
             bytes_ += pkt.wireBytes();
             const sim::Tick first = start + params_.propagation;
             const sim::Tick end = first + ser;
+            if (auto *tr = sim_.tracer())
+                tr->span(name_, "packet", start, end);
             // Virtual cut-through: the receiver sees the packet as
             // soon as the header is in, and may begin routing or
             // processing while the payload is still streaming.

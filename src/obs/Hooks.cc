@@ -1,0 +1,12 @@
+#include "obs/Hooks.hh"
+
+namespace san::obs {
+
+sim::Tracer *&
+globalTracer()
+{
+    static sim::Tracer *tracer = nullptr;
+    return tracer;
+}
+
+} // namespace san::obs

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Process-wide observability hooks.
+ *
+ * Benchmarks construct their simulated systems deep inside per-app
+ * run functions, so command-line-selected instrumentation cannot be
+ * threaded through every call site. Instead the harness installs a
+ * tracer here and cluster builders attach it to each Simulation they
+ * create. A null tracer (the default) keeps every probe at a single
+ * predictable branch.
+ */
+
+#ifndef SAN_OBS_HOOKS_HH
+#define SAN_OBS_HOOKS_HH
+
+#include "sim/Tracer.hh"
+
+namespace san::obs {
+
+/**
+ * The tracer newly built simulations should attach, or nullptr.
+ * Owned by whoever installed it (typically bench::init()).
+ */
+sim::Tracer *&globalTracer();
+
+} // namespace san::obs
+
+#endif // SAN_OBS_HOOKS_HH

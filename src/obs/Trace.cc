@@ -1,0 +1,140 @@
+#include "obs/Trace.hh"
+
+#include <charconv>
+#include <ostream>
+
+namespace san::obs {
+
+namespace {
+
+/** ps -> trace microseconds, in shortest round-trip decimal form. */
+void
+writeMicros(std::ostream &os, sim::Tick t)
+{
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf),
+                             static_cast<double>(t) / 1e6);
+    os.write(buf, res.ptr - buf);
+}
+
+} // namespace
+
+ChromeTracer::ChromeTracer(std::ostream &os) : os_(os)
+{
+    os_ << "[";
+}
+
+ChromeTracer::~ChromeTracer()
+{
+    finish();
+}
+
+void
+ChromeTracer::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "\n]\n";
+    os_.flush();
+}
+
+void
+ChromeTracer::beginProcess(const std::string &name)
+{
+    ++pid_;
+    nextTid_ = 1;
+    metadata("process_name", pid_, 0, name);
+}
+
+int
+ChromeTracer::tidFor(const std::string &track)
+{
+    if (pid_ == 0)
+        beginProcess("run");
+    const auto key = std::make_pair(pid_, track);
+    auto it = tids_.find(key);
+    if (it != tids_.end())
+        return it->second;
+    const int tid = nextTid_++;
+    tids_.emplace(key, tid);
+    metadata("thread_name", pid_, tid, track);
+    return tid;
+}
+
+void
+ChromeTracer::metadata(const char *name, int pid, int tid,
+                       const std::string &value)
+{
+    close();
+    os_ << "{\"name\":\"" << name << "\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"";
+    for (const char c : value) {
+        if (c == '"' || c == '\\')
+            os_ << '\\';
+        os_ << c;
+    }
+    os_ << "\"}}";
+    ++events_;
+}
+
+void
+ChromeTracer::close()
+{
+    if (!first_)
+        os_ << ",";
+    os_ << "\n";
+    first_ = false;
+}
+
+void
+ChromeTracer::header(const char *ph, const char *name, int tid,
+                     sim::Tick ts)
+{
+    close();
+    os_ << "{\"name\":\"" << name << "\",\"cat\":\"sim\",\"ph\":\""
+        << ph << "\",\"pid\":" << pid_ << ",\"tid\":" << tid
+        << ",\"ts\":";
+    writeMicros(os_, ts);
+    ++events_;
+}
+
+void
+ChromeTracer::span(const std::string &track, const char *name,
+                   sim::Tick start, sim::Tick end)
+{
+    const int tid = tidFor(track);
+    header("X", name, tid, start);
+    os_ << ",\"dur\":";
+    writeMicros(os_, end - start);
+    os_ << "}";
+}
+
+void
+ChromeTracer::instant(const std::string &track, const char *name,
+                      sim::Tick at)
+{
+    const int tid = tidFor(track);
+    header("i", name, tid, at);
+    os_ << ",\"s\":\"t\"}";
+}
+
+void
+ChromeTracer::asyncBegin(const std::string &track, const char *name,
+                         std::uint64_t id, sim::Tick at)
+{
+    const int tid = tidFor(track);
+    header("b", name, tid, at);
+    os_ << ",\"id\":" << id << "}";
+}
+
+void
+ChromeTracer::asyncEnd(const std::string &track, const char *name,
+                       std::uint64_t id, sim::Tick at)
+{
+    const int tid = tidFor(track);
+    header("e", name, tid, at);
+    os_ << ",\"id\":" << id << "}";
+}
+
+} // namespace san::obs

@@ -24,6 +24,24 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    /**
+     * Observes every executed event. The (tick, sequence-number) pair
+     * identifies one event uniquely and deterministically, which makes
+     * an observer the natural place to fold a run fingerprint
+     * (obs::RunFingerprint) or feed an execution trace.
+     */
+    class Observer
+    {
+      public:
+        virtual ~Observer() = default;
+        /** Called once per executed event, before its callback runs. */
+        virtual void onEvent(Tick when, std::uint64_t seq) = 0;
+    };
+
+    /** Install (or clear, with nullptr) the execution observer. */
+    void setObserver(Observer *obs) { observer_ = obs; }
+    Observer *observer() const { return observer_; }
+
     /** Current simulated time. */
     Tick now() const { return now_; }
 
@@ -67,6 +85,8 @@ class EventQueue
         Entry top = std::move(const_cast<Entry &>(heap_.top()));
         heap_.pop();
         now_ = top.when;
+        if (observer_)
+            observer_->onEvent(top.when, top.seq);
         top.cb();
         return true;
     }
@@ -114,6 +134,7 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    Observer *observer_ = nullptr;
 };
 
 } // namespace san::sim

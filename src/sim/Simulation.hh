@@ -13,6 +13,7 @@
 
 #include "sim/EventQueue.hh"
 #include "sim/Task.hh"
+#include "sim/Tracer.hh"
 #include "sim/Types.hh"
 
 namespace san::sim {
@@ -31,6 +32,13 @@ class Simulation
 
     EventQueue &events() { return events_; }
     Tick now() const { return events_.now(); }
+
+    /**
+     * Attach (or clear) a tracer. Hardware models consult tracer()
+     * before emitting spans, so a null tracer costs one branch.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+    Tracer *tracer() const { return tracer_; }
 
     /**
      * Start a detached task. The simulation owns the coroutine frame
@@ -89,6 +97,7 @@ class Simulation
 
     EventQueue events_;
     std::list<Task> tasks_;
+    Tracer *tracer_ = nullptr;
 };
 
 namespace detail {

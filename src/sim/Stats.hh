@@ -86,6 +86,10 @@ class Histogram
             const double frac = (v - lo_) / (hi_ - lo_);
             idx = 1 + static_cast<std::size_t>(
                 frac * static_cast<double>(counts_.size() - 2));
+            // frac < 1 mathematically, but the product can round up
+            // to exactly `buckets` for v just below hi; clamp so such
+            // samples land in the top bucket, not the overflow slot.
+            idx = std::min(idx, counts_.size() - 2);
         }
         ++counts_[idx];
         total_.sample(v);
@@ -97,10 +101,42 @@ class Histogram
     std::size_t buckets() const { return counts_.size() - 2; }
     const Accumulator &summary() const { return total_; }
 
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /** Lower edge of bucket @p i (upper edge is edge(i + 1)). */
+    double
+    edge(std::size_t i) const
+    {
+        const double width = (hi_ - lo_) /
+                             static_cast<double>(counts_.size() - 2);
+        return lo_ + width * static_cast<double>(i);
+    }
+
   private:
     double lo_, hi_;
     std::vector<std::uint64_t> counts_;
     Accumulator total_;
+};
+
+/**
+ * Read-only traversal of a StatGroup's registered statistics, in
+ * registration order. Machine-readable exporters (JSON, fingerprint
+ * folding) implement this instead of re-parsing the text dump.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+    virtual void onCounter(const std::string &group,
+                           const std::string &name,
+                           const Counter &c) = 0;
+    virtual void onAccumulator(const std::string &group,
+                               const std::string &name,
+                               const Accumulator &a) = 0;
+    virtual void onHistogram(const std::string &group,
+                             const std::string &name,
+                             const Histogram &h) = 0;
 };
 
 /**
@@ -126,7 +162,27 @@ class StatGroup
         return accums_.back().second;
     }
 
+    Histogram &
+    histogram(const std::string &stat_name, double lo, double hi,
+              std::size_t buckets)
+    {
+        histograms_.push_back({stat_name, Histogram{lo, hi, buckets}});
+        return histograms_.back().second;
+    }
+
     const std::string &name() const { return name_; }
+
+    /** Walk every registered statistic, in registration order. */
+    void
+    visit(StatVisitor &v) const
+    {
+        for (const auto &[n, c] : counters_)
+            v.onCounter(name_, n, c);
+        for (const auto &[n, a] : accums_)
+            v.onAccumulator(name_, n, a);
+        for (const auto &[n, h] : histograms_)
+            v.onHistogram(name_, n, h);
+    }
 
     void
     dump(std::ostream &os) const
@@ -136,16 +192,29 @@ class StatGroup
         for (const auto &[n, a] : accums_) {
             os << name_ << '.' << n << ".count " << a.count() << '\n'
                << name_ << '.' << n << ".mean " << a.mean() << '\n'
+               << name_ << '.' << n << ".min " << a.min() << '\n'
                << name_ << '.' << n << ".max " << a.max() << '\n';
+        }
+        for (const auto &[n, h] : histograms_) {
+            os << name_ << '.' << n << ".samples "
+               << h.summary().count() << '\n'
+               << name_ << '.' << n << ".underflow " << h.underflow()
+               << '\n'
+               << name_ << '.' << n << ".overflow " << h.overflow()
+               << '\n';
+            for (std::size_t i = 0; i < h.buckets(); ++i)
+                os << name_ << '.' << n << ".bucket" << i << ' '
+                   << h.bucket(i) << '\n';
         }
     }
 
   private:
     std::string name_;
-    // Deques keep references handed out by counter()/accumulator()
-    // stable across later registrations.
+    // Deques keep references handed out by counter()/accumulator()/
+    // histogram() stable across later registrations.
     std::deque<std::pair<std::string, Counter>> counters_;
     std::deque<std::pair<std::string, Accumulator>> accums_;
+    std::deque<std::pair<std::string, Histogram>> histograms_;
 };
 
 } // namespace san::sim

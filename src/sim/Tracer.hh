@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Abstract tracing interface hardware models report spans through.
+ *
+ * Components hold only a Simulation reference, so the tracer hangs
+ * off the Simulation: a component emits a span with
+ *
+ *     if (auto *tr = sim_.tracer())
+ *         tr->span("host0.hca", "io", start, end);
+ *
+ * which costs one predictable null check when tracing is disabled.
+ * The concrete exporter (obs::ChromeTracer) lives above the sim
+ * layer; this interface keeps sim free of any output format.
+ *
+ * Tracks are named timelines (one per component, usually); spans are
+ * closed intervals of simulated time on a track; instants are
+ * zero-width markers; async begin/end pairs bracket logically-scoped
+ * operations that interleave on one track (handler instances,
+ * outstanding I/O requests), matched by id.
+ */
+
+#ifndef SAN_SIM_TRACER_HH
+#define SAN_SIM_TRACER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/Types.hh"
+
+namespace san::sim {
+
+/** Receiver of model-level trace events. */
+class Tracer
+{
+  public:
+    virtual ~Tracer() = default;
+
+    /** A closed interval [start, end] of work on @p track. */
+    virtual void span(const std::string &track, const char *name,
+                      Tick start, Tick end) = 0;
+
+    /** A zero-width marker at @p at. */
+    virtual void instant(const std::string &track, const char *name,
+                         Tick at) = 0;
+
+    /** @{ An async operation on @p track, matched by @p id. */
+    virtual void asyncBegin(const std::string &track, const char *name,
+                            std::uint64_t id, Tick at) = 0;
+    virtual void asyncEnd(const std::string &track, const char *name,
+                          std::uint64_t id, Tick at) = 0;
+    /** @} */
+};
+
+} // namespace san::sim
+
+#endif // SAN_SIM_TRACER_HH

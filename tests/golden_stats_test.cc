@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Golden-stats regression suite: run a small cluster in each of the
+ * paper's four configurations, dump the machine-readable stats, and
+ * compare byte-for-byte against checked-in golden files.
+ *
+ * Any change to simulated timing, cache behaviour, traffic or the
+ * stats schema shows up here. If the change is intended, regenerate
+ * the golden files with
+ *
+ *     SAN_UPDATE_GOLDEN=1 ctest -R GoldenStats
+ *
+ * and commit the diff alongside the change that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/Cluster.hh"
+#include "apps/MpegFilter.hh"
+#include "harness/StatsReport.hh"
+#include "obs/Json.hh"
+
+#ifndef SAN_GOLDEN_DIR
+#error "SAN_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+using namespace san;
+
+/** The golden workload: a small MPEG filter run (fast, exercises
+ * hosts, switch CPUs, buffers, ATBs, storage and adapters). */
+std::string
+statsJsonFor(apps::Mode mode)
+{
+    std::string captured;
+    apps::clusterObserver() = [&captured](apps::Cluster &cluster,
+                                          apps::Mode) {
+        std::ostringstream oss;
+        obs::JsonWriter json(oss);
+        harness::dumpClusterStatsJson(json, cluster);
+        captured = oss.str();
+    };
+    apps::MpegParams params;
+    params.fileBytes = 256 * 1024;
+    runMpegFilter(mode, params);
+    apps::clusterObserver() = apps::ClusterObserver{};
+    return captured;
+}
+
+std::string
+goldenPathFor(apps::Mode mode)
+{
+    std::string name = apps::modeName(mode);
+    for (char &c : name)
+        if (c == '+')
+            c = '_';
+    return std::string(SAN_GOLDEN_DIR) + "/mpeg_" + name + ".json";
+}
+
+class GoldenStats : public ::testing::TestWithParam<apps::Mode>
+{};
+
+TEST_P(GoldenStats, MatchesGoldenFile)
+{
+    const apps::Mode mode = GetParam();
+    const std::string actual = statsJsonFor(mode);
+    ASSERT_FALSE(actual.empty());
+    const std::string path = goldenPathFor(mode);
+
+    if (std::getenv("SAN_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "golden file regenerated: " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << "; generate it with SAN_UPDATE_GOLDEN=1";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(actual, golden.str())
+        << "stats diverged from " << path
+        << "\nIf this change is intended, regenerate with "
+           "SAN_UPDATE_GOLDEN=1 and commit the new golden files.";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, GoldenStats,
+    ::testing::Values(apps::Mode::Normal, apps::Mode::NormalPref,
+                      apps::Mode::Active, apps::Mode::ActivePref),
+    [](const ::testing::TestParamInfo<apps::Mode> &info) {
+        std::string name = apps::modeName(info.param);
+        for (char &c : name)
+            if (c == '+')
+                c = 'P';
+        return name;
+    });
+
+} // namespace

@@ -104,6 +104,57 @@ TEST(EventQueue, RunUntilAdvancesTimeWhenDrained)
     EXPECT_EQ(q.now(), ns(123));
 }
 
+TEST(EventQueue, RunUntilIncludesEventsExactlyAtLimit)
+{
+    // The window is inclusive: an event scheduled exactly at the
+    // limit executes in this pass, not the next one.
+    EventQueue q;
+    int fired = 0;
+    q.schedule(ns(50), [&] { ++fired; });
+    q.schedule(ns(51), [&] { ++fired; });
+    q.runUntil(ns(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), ns(50));
+    EXPECT_EQ(q.nextEventTick(), ns(51));
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilRunsCallbackScheduledAtNow)
+{
+    // A callback at the limit that schedules another event at the
+    // same tick keeps the pass going until that tick is exhausted.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(ns(10), [&] {
+        order.push_back(1);
+        q.schedule(q.now(), [&] { order.push_back(2); });
+    });
+    q.runUntil(ns(10));
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ExecutedEventsCountsAcrossDrainedQueue)
+{
+    EventQueue q;
+    EXPECT_EQ(q.executedEvents(), 0u);
+    for (int i = 0; i < 5; ++i)
+        q.schedule(ns(i), [] {});
+    q.runUntil(ns(2));
+    EXPECT_EQ(q.executedEvents(), 3u); // ticks 0, 1, 2
+    q.run();
+    EXPECT_EQ(q.executedEvents(), 5u);
+    // Draining past the end of the load must not change the count.
+    q.runUntil(ns(1000));
+    EXPECT_FALSE(q.step());
+    EXPECT_EQ(q.executedEvents(), 5u);
+    // New work after a drain keeps accumulating.
+    q.schedule(q.now(), [] {});
+    q.run();
+    EXPECT_EQ(q.executedEvents(), 6u);
+}
+
 /** Property: N random events always execute in nondecreasing order. */
 class EventQueueProperty : public ::testing::TestWithParam<std::uint64_t>
 {};

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "sim/Random.hh"
 #include "sim/Stats.hh"
@@ -56,6 +58,38 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.summary().count(), 6u);
 }
 
+TEST(Histogram, BucketBoundaries)
+{
+    // The range is [lo, hi): lo lands in the first bucket (not
+    // underflow), hi in the overflow slot (not the last bucket).
+    Histogram h(10, 20, 5);
+    h.sample(10); // v == lo
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    h.sample(20); // v == hi
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucket(4), 0u);
+    // Just below hi must land in the top bucket even when the
+    // floating-point bucket computation rounds up.
+    h.sample(std::nextafter(20.0, 10.0));
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    // Just below lo is underflow.
+    h.sample(std::nextafter(10.0, 0.0));
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.summary().count(), 4u);
+}
+
+TEST(Histogram, EdgesAndRange)
+{
+    Histogram h(0, 10, 5);
+    EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+    EXPECT_DOUBLE_EQ(h.hi(), 10.0);
+    EXPECT_DOUBLE_EQ(h.edge(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.edge(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.edge(5), 10.0);
+}
+
 TEST(StatGroup, DumpsStableFormat)
 {
     StatGroup g("disk0");
@@ -80,6 +114,89 @@ TEST(StatGroup, ReferencesStayValidAcrossRegistration)
         g.counter("c" + std::to_string(i));
     first += 1;
     EXPECT_DOUBLE_EQ(first.value(), 1.0);
+}
+
+TEST(StatGroup, DumpIncludesAccumulatorMin)
+{
+    StatGroup g("dev");
+    auto &lat = g.accumulator("latency");
+    lat.sample(4);
+    lat.sample(10);
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("dev.latency.min 4"), std::string::npos);
+    EXPECT_NE(oss.str().find("dev.latency.max 10"), std::string::npos);
+}
+
+TEST(StatGroup, RegistersAndDumpsHistograms)
+{
+    StatGroup g("sw");
+    auto &h = g.histogram("qdepth", 0, 8, 4);
+    h.sample(1);
+    h.sample(3);
+    h.sample(100);
+    std::ostringstream oss;
+    g.dump(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("sw.qdepth.samples 3"), std::string::npos);
+    EXPECT_NE(text.find("sw.qdepth.overflow 1"), std::string::npos);
+    EXPECT_NE(text.find("sw.qdepth.bucket0 1"), std::string::npos);
+    EXPECT_NE(text.find("sw.qdepth.bucket1 1"), std::string::npos);
+    // Histogram references stay valid across later registrations.
+    auto &again = g.histogram("other", 0, 1, 1);
+    g.histogram("more", 0, 1, 1);
+    again.sample(0.5);
+    EXPECT_EQ(again.summary().count(), 1u);
+}
+
+/** Visitor that records the traversal in registration order. */
+class RecordingVisitor : public StatVisitor
+{
+  public:
+    void
+    onCounter(const std::string &group, const std::string &name,
+              const Counter &c) override
+    {
+        seen.push_back(group + "." + name + "=counter:" +
+                       std::to_string(static_cast<long>(c.value())));
+    }
+
+    void
+    onAccumulator(const std::string &group, const std::string &name,
+                  const Accumulator &a) override
+    {
+        seen.push_back(group + "." + name + "=accum:" +
+                       std::to_string(a.count()));
+    }
+
+    void
+    onHistogram(const std::string &group, const std::string &name,
+                const Histogram &h) override
+    {
+        seen.push_back(group + "." + name + "=hist:" +
+                       std::to_string(h.summary().count()));
+    }
+
+    std::vector<std::string> seen;
+};
+
+TEST(StatGroup, VisitorWalksEveryStatInRegistrationOrder)
+{
+    StatGroup g("grp");
+    auto &c = g.counter("events");
+    c += 7;
+    auto &a = g.accumulator("lat");
+    a.sample(1);
+    a.sample(2);
+    auto &h = g.histogram("depth", 0, 4, 2);
+    h.sample(1);
+
+    RecordingVisitor v;
+    g.visit(v);
+    ASSERT_EQ(v.seen.size(), 3u);
+    EXPECT_EQ(v.seen[0], "grp.events=counter:7");
+    EXPECT_EQ(v.seen[1], "grp.lat=accum:2");
+    EXPECT_EQ(v.seen[2], "grp.depth=hist:1");
 }
 
 TEST(Random, DeterministicForSameSeed)
