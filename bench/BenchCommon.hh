@@ -10,6 +10,10 @@
  *   --trace <file>       write a Chrome trace_event file (one trace
  *                        process per mode)
  *   --fingerprint        print each mode's 64-bit run fingerprint
+ *   --metrics-csv <file> write a per-interval utilization time series
+ *                        (CSV, or JSONL when the file ends .jsonl)
+ *   --metrics-interval <micros>  sampling interval in simulated
+ *                        microseconds (default 100)
  */
 
 #ifndef SAN_BENCH_BENCH_COMMON_HH
@@ -30,7 +34,9 @@
 #include "harness/Report.hh"
 #include "harness/StatsReport.hh"
 #include "obs/Hooks.hh"
+#include "obs/Metrics.hh"
 #include "obs/Trace.hh"
+#include "sim/Types.hh"
 
 namespace san::bench {
 
@@ -40,6 +46,8 @@ struct BenchOptions {
     bool fingerprint = false;
     std::string statsJsonPath;
     std::string tracePath;
+    std::string metricsCsvPath;
+    sim::Tick metricsInterval = sim::us(100);
 };
 
 /** The options parsed by init() (defaults if init was never called). */
@@ -73,6 +81,19 @@ capturedStats()
     return stats;
 }
 
+/** Metrics file + sampler kept alive for the whole process. */
+struct MetricsState {
+    std::ofstream file;
+    std::unique_ptr<obs::IntervalSampler> sampler;
+};
+
+inline MetricsState &
+metricsState()
+{
+    static MetricsState state;
+    return state;
+}
+
 } // namespace detail
 
 /**
@@ -101,15 +122,53 @@ init(int argc, char **argv)
                 std::exit(2);
             }
             opts.tracePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-csv") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --metrics-csv requires a file\n";
+                std::exit(2);
+            }
+            opts.metricsCsvPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-interval") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --metrics-interval requires a "
+                             "value in microseconds\n";
+                std::exit(2);
+            }
+            const char *arg = argv[++i];
+            char *end = nullptr;
+            const double micros = std::strtod(arg, &end);
+            if (end == arg || *end != '\0' || !(micros > 0)) {
+                std::cerr << "error: --metrics-interval needs a "
+                             "positive number of microseconds, got '"
+                          << arg << "'\n";
+                std::exit(2);
+            }
+            opts.metricsInterval =
+                static_cast<sim::Tick>(micros * 1e6); // us -> ps
+            if (opts.metricsInterval == 0) {
+                std::cerr << "error: --metrics-interval '" << arg
+                          << "' is below one picosecond\n";
+                std::exit(2);
+            }
         }
     }
 
-    if (!opts.tracePath.empty() &&
-        opts.tracePath == opts.statsJsonPath) {
-        std::cerr << "error: --trace and --stats-json must name "
-                     "different files\n";
-        std::exit(2);
-    }
+    auto reject_collision = [](const std::string &a_flag,
+                               const std::string &a,
+                               const std::string &b_flag,
+                               const std::string &b) {
+        if (!a.empty() && a == b) {
+            std::cerr << "error: " << a_flag << " and " << b_flag
+                      << " must name different files\n";
+            std::exit(2);
+        }
+    };
+    reject_collision("--trace", opts.tracePath, "--stats-json",
+                     opts.statsJsonPath);
+    reject_collision("--metrics-csv", opts.metricsCsvPath, "--trace",
+                     opts.tracePath);
+    reject_collision("--metrics-csv", opts.metricsCsvPath,
+                     "--stats-json", opts.statsJsonPath);
 
     if (!opts.tracePath.empty()) {
         auto &ts = detail::traceState();
@@ -120,6 +179,27 @@ init(int argc, char **argv)
         } else {
             std::cerr << "cannot open trace file " << opts.tracePath
                       << "\n";
+        }
+    }
+
+    if (!opts.metricsCsvPath.empty()) {
+        auto &ms = detail::metricsState();
+        ms.file.open(opts.metricsCsvPath);
+        if (ms.file) {
+            const bool jsonl =
+                opts.metricsCsvPath.size() >= 6 &&
+                opts.metricsCsvPath.compare(
+                    opts.metricsCsvPath.size() - 6, 6, ".jsonl") == 0;
+            ms.sampler = std::make_unique<obs::IntervalSampler>(
+                ms.file, opts.metricsInterval,
+                jsonl ? obs::MetricsFormat::Jsonl
+                      : obs::MetricsFormat::Csv);
+            if (obs::globalTracer())
+                ms.sampler->setMirror(obs::globalTracer());
+            obs::globalSampler() = ms.sampler.get();
+        } else {
+            std::cerr << "cannot open metrics file "
+                      << opts.metricsCsvPath << "\n";
         }
     }
 
@@ -196,6 +276,9 @@ runFigure(const std::string &overview_title,
         if (detail::traceState().tracer)
             detail::traceState().tracer->beginProcess(
                 apps::modeName(apps::allModes[i]));
+        if (detail::metricsState().sampler)
+            detail::metricsState().sampler->setRunLabel(
+                apps::modeName(apps::allModes[i]));
         results[i] = run_one(apps::allModes[i]);
     }
 
@@ -203,6 +286,11 @@ runFigure(const std::string &overview_title,
         harness::printOverview(std::cout, overview_title, results);
     if (print_breakdown)
         harness::printBreakdown(std::cout, breakdown_title, results);
+    harness::printHandlerProfile(std::cout,
+                                 overview_title.empty()
+                                     ? breakdown_title
+                                     : overview_title,
+                                 results);
 
     if (opts.fingerprint)
         for (const auto &r : results)
@@ -223,6 +311,28 @@ runFigure(const std::string &overview_title,
     }
     std::cout << "checksum: " << results[0].checksum << "\n";
     return 0;
+}
+
+/**
+ * Whole-main() driver for the breakdown-figure benches (Fig 4, 6, 8,
+ * 10, 12, 14), which differ only in the app run function and how
+ * --quick shrinks the problem. @p quick_shrink (may be empty) adjusts
+ * the default-constructed params when --quick was given.
+ */
+template <typename Params>
+int
+runBreakdownFigure(int argc, char **argv, const std::string &title,
+                   apps::RunStats (*run_one)(apps::Mode,
+                                             const Params &),
+                   const std::function<void(Params &)> &quick_shrink =
+                       {})
+{
+    Params params;
+    if (init(argc, argv).quick && quick_shrink)
+        quick_shrink(params);
+    return runFigure(
+        "", title,
+        [&](apps::Mode m) { return run_one(m, params); }, false, true);
 }
 
 } // namespace san::bench

@@ -10,11 +10,7 @@
 int
 main(int argc, char **argv)
 {
-    san::apps::MpegParams params;
-    if (san::bench::init(argc, argv).quick)
-        params.fileBytes = 512 * 1024;
-    return san::bench::runFigure(
-        "", "Fig 4: MPEG filter",
-        [&](san::apps::Mode m) { return runMpegFilter(m, params); },
-        false, true);
+    return san::bench::runBreakdownFigure<san::apps::MpegParams>(
+        argc, argv, "Fig 4: MPEG filter", san::apps::runMpegFilter,
+        [](san::apps::MpegParams &p) { p.fileBytes = 512 * 1024; });
 }

@@ -9,13 +9,10 @@
 int
 main(int argc, char **argv)
 {
-    san::apps::HashJoinParams params;
-    if (san::bench::init(argc, argv).quick) {
-        params.rBytes = 4ull * 1024 * 1024;
-        params.sBytes = 16ull * 1024 * 1024;
-    }
-    return san::bench::runFigure(
-        "Fig 6: HashJoin", "Fig 6: HashJoin",
-        [&](san::apps::Mode m) { return runHashJoin(m, params); },
-        false, true);
+    return san::bench::runBreakdownFigure<san::apps::HashJoinParams>(
+        argc, argv, "Fig 6: HashJoin", san::apps::runHashJoin,
+        [](san::apps::HashJoinParams &p) {
+            p.rBytes = 4ull * 1024 * 1024;
+            p.sBytes = 16ull * 1024 * 1024;
+        });
 }

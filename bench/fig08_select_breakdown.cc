@@ -11,11 +11,9 @@
 int
 main(int argc, char **argv)
 {
-    san::apps::SelectParams params;
-    if (san::bench::init(argc, argv).quick)
-        params.tableBytes = 16ull * 1024 * 1024;
-    return san::bench::runFigure(
-        "", "Fig 8: Select",
-        [&](san::apps::Mode m) { return runSelect(m, params); },
-        false, true);
+    return san::bench::runBreakdownFigure<san::apps::SelectParams>(
+        argc, argv, "Fig 8: Select", san::apps::runSelect,
+        [](san::apps::SelectParams &p) {
+            p.tableBytes = 16ull * 1024 * 1024;
+        });
 }

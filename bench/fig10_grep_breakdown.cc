@@ -9,10 +9,6 @@
 int
 main(int argc, char **argv)
 {
-    san::apps::GrepParams params;
-    san::bench::init(argc, argv);
-    return san::bench::runFigure(
-        "Fig 10: Grep", "Fig 10: Grep",
-        [&](san::apps::Mode m) { return runGrep(m, params); },
-        false, true);
+    return san::bench::runBreakdownFigure<san::apps::GrepParams>(
+        argc, argv, "Fig 10: Grep", san::apps::runGrep);
 }

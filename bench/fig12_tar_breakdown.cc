@@ -9,10 +9,6 @@
 int
 main(int argc, char **argv)
 {
-    san::apps::TarParams params;
-    san::bench::init(argc, argv);
-    return san::bench::runFigure(
-        "Fig 12: Tar", "Fig 12: Tar",
-        [&](san::apps::Mode m) { return runTar(m, params); },
-        false, true);
+    return san::bench::runBreakdownFigure<san::apps::TarParams>(
+        argc, argv, "Fig 12: Tar", san::apps::runTar);
 }

@@ -9,10 +9,7 @@
 int
 main(int argc, char **argv)
 {
-    san::apps::SortParams params;
-    san::bench::init(argc, argv);
-    return san::bench::runFigure(
-        "Fig 14: Parallel sort", "Fig 14: Parallel sort",
-        [&](san::apps::Mode m) { return runParallelSort(m, params); },
-        false, true);
+    return san::bench::runBreakdownFigure<san::apps::SortParams>(
+        argc, argv, "Fig 14: Parallel sort",
+        san::apps::runParallelSort);
 }

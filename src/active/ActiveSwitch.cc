@@ -39,6 +39,9 @@ sim::ValueTask<StreamChunk>
 HandlerContext::nextChunk()
 {
     StreamChunk chunk = co_await input_->pop();
+    HandlerProfile &prof = sw_.profiles_[handlerId_];
+    ++prof.chunks;
+    prof.bytes += chunk.bytes;
     co_return chunk;
 }
 
@@ -62,20 +65,26 @@ HandlerContext::awaitValid(const StreamChunk &chunk, std::uint32_t offset,
 sim::Delay
 HandlerContext::compute(std::uint64_t instructions)
 {
-    return cpu().compute(instructions);
+    const sim::Delay d = cpu().compute(instructions);
+    sw_.profiles_[handlerId_].busyTicks += d.ticks;
+    return d;
 }
 
 sim::Delay
 HandlerContext::access(mem::Addr addr, std::uint64_t bytes,
                        mem::AccessKind kind)
 {
-    return cpu().touch(addr, bytes, kind);
+    const sim::Delay d = cpu().touch(addr, bytes, kind);
+    sw_.profiles_[handlerId_].stallTicks += d.ticks;
+    return d;
 }
 
 sim::Delay
 HandlerContext::fetchCode(mem::Addr pc, std::uint64_t bytes)
 {
-    return cpu().fetchCode(pc, bytes);
+    const sim::Delay d = cpu().fetchCode(pc, bytes);
+    sw_.profiles_[handlerId_].stallTicks += d.ticks;
+    return d;
 }
 
 void
@@ -105,6 +114,7 @@ HandlerContext::send(net::NodeId dst, std::uint64_t bytes,
                      net::PayloadPtr payload, std::uint32_t tag)
 {
     // Compose the header and hand the buffer to the Send unit.
+    sw_.profiles_[handlerId_].busyTicks += sw_.config().sendLatency;
     co_await cpu().busyFor(sw_.config().sendLatency);
     sw_.sendUnit(dst, bytes, active, std::move(payload), tag);
 }
@@ -116,6 +126,7 @@ HandlerContext::postRead(net::NodeId storage, std::uint64_t offset,
 {
     // The small run-time kernel on the switch validates and posts
     // the request (the paper's "modest kernel support").
+    sw_.profiles_[handlerId_].busyTicks += sim::us(1);
     co_await cpu().busyFor(sim::us(1));
     io::IoRequest req;
     req.requestId = ActiveSwitch::nextMessageId_++;
@@ -155,7 +166,28 @@ ActiveSwitch::registerHandler(std::uint8_t handler_id, std::string name,
                               HandlerFn fn)
 {
     assert(handler_id <= net::maxHandlerId);
+    HandlerProfile &prof = profiles_[handler_id];
+    prof.id = handler_id;
+    prof.name = name;
     jumpTable_[handler_id] = JumpEntry{std::move(name), std::move(fn)};
+}
+
+void
+ActiveSwitch::registerMetrics(obs::MetricsRegistry &m) const
+{
+    const std::string &n = name();
+    m.add(n + ".dispatchQueue", obs::GaugeKind::Gauge,
+          [this] { return static_cast<double>(pending_.size()); });
+    m.add(n + ".chunksStaged", obs::GaugeKind::Rate,
+          [this] { return static_cast<double>(staged_); });
+    m.add(n + ".dispatchStalls", obs::GaugeKind::Rate,
+          [this] { return static_cast<double>(dispatchStalls_); });
+    pool_.registerMetrics(m, n + ".buffers");
+    for (unsigned i = 0; i < config_.cpus; ++i) {
+        const std::string cpu_prefix = n + ".sp" + std::to_string(i);
+        cpus_[i]->registerMetrics(m, cpu_prefix);
+        atbs_[i].registerMetrics(m, cpu_prefix + ".atb");
+    }
 }
 
 void
@@ -308,6 +340,7 @@ ActiveSwitch::instanceFor(const net::Packet &pkt)
     assert(inserted);
     ++cpuLoad_[cpu_index];
     ++invoked_;
+    ++profiles_[key.first].invocations;
     if (auto *tr = sim_.tracer())
         tr->asyncBegin(name() + ".sp" + std::to_string(cpu_index),
                        jumpTable_[key.first]->name.c_str(),

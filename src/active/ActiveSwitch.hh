@@ -56,6 +56,22 @@ struct StreamChunk {
 /** A handler body: a coroutine over its context. */
 using HandlerFn = std::function<sim::Task(HandlerContext &)>;
 
+/**
+ * Cumulative switch-CPU cost of one handler program, across every
+ * instance it ran. All busy time a handler charges flows through
+ * HandlerContext (compute / send / postRead), so summing busyTicks
+ * over all profiles reproduces the switch CPUs' busy counters.
+ */
+struct HandlerProfile {
+    std::uint8_t id = 0;
+    std::string name;
+    std::uint64_t invocations = 0; //!< instances started
+    std::uint64_t chunks = 0;      //!< stream chunks consumed
+    std::uint64_t bytes = 0;       //!< payload bytes consumed
+    sim::Tick busyTicks = 0;       //!< switch-CPU busy time charged
+    sim::Tick stallTicks = 0;      //!< switch-CPU stall time charged
+};
+
 /** Active hardware configuration. */
 struct ActiveConfig {
     unsigned cpus = 1;               //!< 1..4 embedded processors
@@ -173,6 +189,23 @@ class ActiveSwitch : public net::Switch
     std::uint64_t handlersInvoked() const { return invoked_; }
     std::uint64_t chunksStaged() const { return staged_; }
     std::uint64_t dispatchStalls() const { return dispatchStalls_; }
+    /** Packets waiting on a free buffer / ATB slot right now. */
+    std::size_t pendingDepth() const { return pending_.size(); }
+
+    /** Per-handler switch-CPU profiles, keyed by handler ID. */
+    const std::map<std::uint8_t, HandlerProfile> &
+    handlerProfiles() const
+    {
+        return profiles_;
+    }
+
+    /**
+     * Register the active hardware's timeline under the switch name:
+     * dispatch-queue depth, chunks staged and dispatch stalls per
+     * interval, buffer-pool occupancy, and per-CPU busy / stall /
+     * idle plus ATB state.
+     */
+    void registerMetrics(obs::MetricsRegistry &m) const;
 
     /** Fair-share cap on buffers held by one handler instance. */
     unsigned bufferQuota() const;
@@ -221,6 +254,7 @@ class ActiveSwitch : public net::Switch
         HandlerFn fn;
     };
     std::vector<std::optional<JumpEntry>> jumpTable_;
+    std::map<std::uint8_t, HandlerProfile> profiles_;
 
     std::map<InstanceKey, Instance> instances_;
     std::deque<net::Arrival> pending_; //!< waiting for buffer/ATB slot

@@ -15,8 +15,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/Metrics.hh"
 
 namespace san::active {
 
@@ -106,6 +109,34 @@ class Atb
 
     std::uint64_t mappings() const { return mappings_; }
     std::uint64_t conflicts() const { return conflicts_; }
+
+    /** Map attempts that found their direct-mapped slot free. */
+    double
+    hitRate() const
+    {
+        const std::uint64_t tries = mappings_ + conflicts_;
+        return tries > 0
+                   ? static_cast<double>(mappings_) /
+                         static_cast<double>(tries)
+                   : 1.0;
+    }
+
+    /**
+     * Register this ATB's timeline under @p prefix: live mappings
+     * (occupancy), map-conflicts per interval, and the cumulative
+     * hit rate of the direct-mapped slots.
+     */
+    void
+    registerMetrics(obs::MetricsRegistry &m,
+                    const std::string &prefix) const
+    {
+        m.add(prefix + ".live", obs::GaugeKind::Gauge,
+              [this] { return static_cast<double>(liveMappings()); });
+        m.add(prefix + ".conflicts", obs::GaugeKind::Rate,
+              [this] { return static_cast<double>(conflicts_); });
+        m.add(prefix + ".hitRate", obs::GaugeKind::Gauge,
+              [this] { return hitRate(); });
+    }
 
   private:
     struct Entry {

@@ -17,8 +17,10 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/Metrics.hh"
 #include "sim/Types.hh"
 
 namespace san::active {
@@ -135,6 +137,24 @@ class DataBufferPool
     std::uint64_t allocations() const { return allocations_; }
     std::uint64_t releases() const { return releases_; }
     std::uint64_t allocationFailures() const { return allocationFailures_; }
+
+    /**
+     * Register the pool's occupancy timeline under @p prefix: live
+     * buffers (gauge) plus allocations and allocation failures per
+     * interval — the buffer-pressure view of the paper's §5 stalls.
+     */
+    void
+    registerMetrics(obs::MetricsRegistry &m,
+                    const std::string &prefix) const
+    {
+        m.add(prefix + ".inUse", obs::GaugeKind::Gauge,
+              [this] { return static_cast<double>(inUse_); });
+        m.add(prefix + ".allocations", obs::GaugeKind::Rate,
+              [this] { return static_cast<double>(allocations_); });
+        m.add(prefix + ".allocationFailures", obs::GaugeKind::Rate, [this] {
+            return static_cast<double>(allocationFailures_);
+        });
+    }
 
   private:
     struct Buffer {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/Hooks.hh"
+#include "obs/Metrics.hh"
 
 namespace san::apps {
 
@@ -40,12 +41,32 @@ Cluster::Cluster(const ClusterParams &params)
         h->start();
     for (auto &s : storage_)
         s->start();
+
+    // When a sampler is installed (bench --metrics-csv), point it at
+    // this cluster: re-register every component's gauges (the
+    // previous cluster is gone) and chain it in front of the
+    // fingerprint observer. Without a sampler this is all skipped
+    // and runs pay nothing.
+    if (obs::IntervalSampler *sampler = obs::globalSampler()) {
+        sampler->registry().clear();
+        for (auto &h : hosts_)
+            h->registerMetrics(sampler->registry());
+        sw_->registerMetrics(sampler->registry());
+        for (unsigned i = 0; i < storageCount(); ++i)
+            storage_[i]->registerMetrics(
+                sampler->registry(), "storage" + std::to_string(i));
+        for (const auto &link : fabric_.links())
+            link->registerMetrics(sampler->registry());
+        sampler->attach(sim_.events());
+    }
 }
 
 RunStats
 Cluster::collect(Mode mode)
 {
     const sim::Tick end = sim_.run();
+    if (obs::IntervalSampler *sampler = obs::globalSampler())
+        sampler->finishRun(end);
     RunStats stats;
     stats.mode = mode;
     stats.execTime = end;
@@ -53,9 +74,28 @@ Cluster::collect(Mode mode)
         stats.hosts.push_back(h->cpu().breakdown(end));
         stats.hostIoBytes += h->ioTrafficBytes();
     }
-    if (isActive(mode))
+    if (isActive(mode)) {
         for (unsigned i = 0; i < sw_->cpuCount(); ++i)
             stats.switchCpus.push_back(sw_->cpu(i).breakdown(end));
+        const sim::Tick cycle =
+            sim::Frequency(params_.active.cpuHz).period();
+        for (const auto &[id, p] : sw_->handlerProfiles()) {
+            HandlerCpuProfile out;
+            out.id = p.id;
+            out.name = p.name;
+            out.invocations = p.invocations;
+            out.chunks = p.chunks;
+            out.bytes = p.bytes;
+            out.busyTicks = p.busyTicks;
+            out.stallTicks = p.stallTicks;
+            out.busyCycles = p.busyTicks / cycle;
+            out.cyclesPerByte =
+                p.bytes > 0 ? static_cast<double>(out.busyCycles) /
+                                  static_cast<double>(p.bytes)
+                            : 0.0;
+            stats.handlerProfiles.push_back(std::move(out));
+        }
+    }
 
     // Fold the end-of-run stat values on top of the per-event stream
     // so a run with identical timing but different results still
@@ -71,6 +111,12 @@ Cluster::collect(Mode mode)
     for (const auto &s : stats.switchCpus) {
         fingerprint_.foldStat("sp.busy", static_cast<double>(s.busy));
         fingerprint_.foldStat("sp.stall", static_cast<double>(s.stall));
+    }
+    for (const auto &p : stats.handlerProfiles) {
+        fingerprint_.foldStat("handler.busy",
+                              static_cast<double>(p.busyTicks));
+        fingerprint_.foldStat("handler.bytes",
+                              static_cast<double>(p.bytes));
     }
     stats.fingerprint = fingerprint_.value();
 

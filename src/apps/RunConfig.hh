@@ -58,6 +58,22 @@ modeName(Mode m)
     return "?";
 }
 
+/**
+ * One handler program's switch-CPU cost over a run, in cycles of the
+ * embedded core (the profiler view of the "a-SP" bars).
+ */
+struct HandlerCpuProfile {
+    std::uint8_t id = 0;
+    std::string name;
+    std::uint64_t invocations = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes = 0;
+    sim::Tick busyTicks = 0;
+    sim::Tick stallTicks = 0;
+    std::uint64_t busyCycles = 0;
+    double cyclesPerByte = 0.0; //!< busyCycles / bytes processed
+};
+
 /** Results of one benchmark run in one mode. */
 struct RunStats {
     Mode mode = Mode::Normal;
@@ -70,6 +86,9 @@ struct RunStats {
 
     /** Bytes in+out of host HCAs (the paper's host I/O traffic). */
     std::uint64_t hostIoBytes = 0;
+
+    /** Per-handler switch-CPU profiles (active modes only). */
+    std::vector<HandlerCpuProfile> handlerProfiles;
 
     /**
      * Run fingerprint: a 64-bit hash of every executed event plus the

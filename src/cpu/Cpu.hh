@@ -28,6 +28,7 @@
 #include <string>
 
 #include "mem/MemorySystem.hh"
+#include "obs/Metrics.hh"
 #include "sim/Simulation.hh"
 #include "sim/Types.hh"
 
@@ -147,6 +148,22 @@ class Cpu
 
     sim::Tick busyTicks() const { return busy_; }
     sim::Tick stallTicks() const { return stall_; }
+
+    /**
+     * Register this CPU's per-interval busy / stall / idle fractions
+     * (the paper's breakdown bars, as a timeline) under @p prefix.
+     */
+    void
+    registerMetrics(obs::MetricsRegistry &m,
+                    const std::string &prefix) const
+    {
+        m.add(prefix + ".busy", obs::GaugeKind::TimeShare,
+              [this] { return static_cast<double>(busy_); });
+        m.add(prefix + ".stall", obs::GaugeKind::TimeShare,
+              [this] { return static_cast<double>(stall_); });
+        m.add(prefix + ".idle", obs::GaugeKind::IdleShare,
+              [this] { return static_cast<double>(busy_ + stall_); });
+    }
 
     void
     resetAccounting()

@@ -86,6 +86,35 @@ printBreakdown(std::ostream &os, const std::string &title,
     }
 }
 
+void
+printHandlerProfile(std::ostream &os, const std::string &title,
+                    const ModeResults &results)
+{
+    bool any = false;
+    for (const RunStats &r : results)
+        any = any || !r.handlerProfiles.empty();
+    if (!any)
+        return;
+
+    os << "== " << title << " (handler profile) ==\n";
+    os << std::left << std::setw(14) << "config" << std::setw(12)
+       << "handler" << std::right << std::setw(8) << "inst"
+       << std::setw(10) << "chunks" << std::setw(14) << "bytes"
+       << std::setw(14) << "busy-cycles" << std::setw(12) << "cyc/byte"
+       << '\n';
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        for (const auto &p : results[i].handlerProfiles) {
+            os << std::left << std::setw(14) << modeName(allModes[i])
+               << std::setw(12) << p.name << std::right << std::setw(8)
+               << p.invocations << std::setw(10) << p.chunks
+               << std::setw(14) << p.bytes << std::setw(14)
+               << p.busyCycles << std::fixed << std::setprecision(2)
+               << std::setw(12) << p.cyclesPerByte << '\n';
+            os.unsetf(std::ios::fixed);
+        }
+    }
+}
+
 bool
 checksumsAgree(const ModeResults &results)
 {

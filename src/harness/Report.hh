@@ -33,6 +33,14 @@ void printOverview(std::ostream &os, const std::string &title,
 void printBreakdown(std::ostream &os, const std::string &title,
                     const ModeResults &results);
 
+/**
+ * Print the per-handler switch-CPU profile of the active modes:
+ * invocations, chunks, bytes, busy cycles and cycles/byte per
+ * handler program. Prints nothing when no run used handlers.
+ */
+void printHandlerProfile(std::ostream &os, const std::string &title,
+                         const ModeResults &results);
+
 /** Consistency check: every mode computed the same answer. */
 bool checksumsAgree(const ModeResults &results);
 

@@ -113,6 +113,14 @@ dumpClusterStats(std::ostream &os, apps::Cluster &cluster)
            << '\n';
         dumpMemoryStats(os, prefix + ".mem", sw.cpu(i).memory());
     }
+    for (const auto &[id, p] : sw.handlerProfiles()) {
+        const std::string prefix = sw.name() + ".handler." + p.name;
+        os << prefix << ".invocations " << p.invocations << '\n'
+           << prefix << ".chunks " << p.chunks << '\n'
+           << prefix << ".bytes " << p.bytes << '\n'
+           << prefix << ".busyTicks " << p.busyTicks << '\n'
+           << prefix << ".stallTicks " << p.stallTicks << '\n';
+    }
 
     for (unsigned i = 0; i < cluster.storageCount(); ++i) {
         auto &s = cluster.storage(i);
@@ -205,6 +213,27 @@ dumpClusterStatsJson(obs::JsonWriter &json, apps::Cluster &cluster)
         json.endObject();
         json.key("mem");
         dumpMemoryStatsJson(json, sw.cpu(i).memory());
+        json.endObject();
+    }
+    json.endArray();
+    const sim::Tick sp_cycle =
+        sim::Frequency(sw.config().cpuHz).period();
+    json.key("handlers").beginArray();
+    for (const auto &[id, p] : sw.handlerProfiles()) {
+        const std::uint64_t cycles = p.busyTicks / sp_cycle;
+        json.beginObject();
+        json.kv("id", static_cast<std::uint64_t>(p.id));
+        json.kv("name", p.name);
+        json.kv("invocations", p.invocations);
+        json.kv("chunks", p.chunks);
+        json.kv("bytes", p.bytes);
+        json.kv("busyTicks", p.busyTicks);
+        json.kv("stallTicks", p.stallTicks);
+        json.kv("busyCycles", cycles);
+        json.kv("cyclesPerByte",
+                p.bytes > 0 ? static_cast<double>(cycles) /
+                                  static_cast<double>(p.bytes)
+                            : 0.0);
         json.endObject();
     }
     json.endArray();

@@ -126,6 +126,21 @@ class Host
         return hca_->bytesSent() + hca_->bytesReceived();
     }
 
+    /**
+     * Register this host's timeline under its name: CPU busy / stall
+     * / idle fractions, outstanding I/O requests, and HCA bytes per
+     * interval.
+     */
+    void
+    registerMetrics(obs::MetricsRegistry &m) const
+    {
+        cpu_.registerMetrics(m, name_ + ".cpu");
+        m.add(name_ + ".outstandingIo", obs::GaugeKind::Gauge,
+              [this] { return static_cast<double>(pending_.size()); });
+        m.add(name_ + ".ioBytes", obs::GaugeKind::Rate,
+              [this] { return static_cast<double>(ioTrafficBytes()); });
+    }
+
   private:
     sim::Task demux();
 

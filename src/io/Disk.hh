@@ -63,6 +63,7 @@ class Disk
         }
         const sim::Tick done =
             start + sim::transferTime(bytes, psPerByte_);
+        busyTicks_ += done - start;
         busyUntil_ = done;
         nextSequential_ = offset + bytes;
         bytesRead_ += bytes;
@@ -72,11 +73,14 @@ class Disk
     const DiskParams &params() const { return params_; }
     std::uint64_t bytesRead() const { return bytesRead_; }
     std::uint64_t seeks() const { return seeks_; }
+    /** Cumulative mechanism occupancy (transfer time) in ticks. */
+    sim::Tick busyTicks() const { return busyTicks_; }
 
   private:
     DiskParams params_;
     sim::PsPerByte psPerByte_;
     sim::Tick busyUntil_ = 0;
+    sim::Tick busyTicks_ = 0;
     bool first_ = true;
     std::uint64_t nextSequential_ = 0;
     std::uint64_t seeks_ = 0;
@@ -126,6 +130,16 @@ class DiskArray
         std::uint64_t total = 0;
         for (const auto &d : disks_)
             total += d.seeks();
+        return total;
+    }
+
+    /** Summed occupancy across spindles (up to disks() x elapsed). */
+    sim::Tick
+    busyTicks() const
+    {
+        sim::Tick total = 0;
+        for (const auto &d : disks_)
+            total += d.busyTicks();
         return total;
     }
 

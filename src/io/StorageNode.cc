@@ -37,9 +37,31 @@ StorageNode::serve()
     }
 }
 
+void
+StorageNode::registerMetrics(obs::MetricsRegistry &m,
+                             const std::string &prefix) const
+{
+    m.add(prefix + ".outstanding", obs::GaugeKind::Gauge,
+          [this] { return static_cast<double>(inflight_); });
+    m.add(prefix + ".requests", obs::GaugeKind::Rate,
+          [this] { return static_cast<double>(requests_); });
+    // Per-spindle busy time sums across the array; divide by the
+    // spindle count so the gauge stays a 0..1 fraction.
+    m.add(prefix + ".disk.busy", obs::GaugeKind::TimeShare, [this] {
+        return static_cast<double>(disks_.busyTicks()) /
+               static_cast<double>(disks_.disks());
+    });
+    m.add(prefix + ".disk.bytes", obs::GaugeKind::Rate,
+          [this] { return static_cast<double>(disks_.bytesRead()); });
+    m.add(prefix + ".scsi.bytes", obs::GaugeKind::Rate, [this] {
+        return static_cast<double>(bus_.bytesTransferred());
+    });
+}
+
 sim::Task
 StorageNode::handleRequest(IoRequest req)
 {
+    ++inflight_;
     // Reserve the disk and bus schedules for every chunk up front
     // (at issue time), so the disk stage of chunk i+1 overlaps the
     // bus stage of chunk i: the pipeline runs at min(disk, bus)
@@ -104,6 +126,7 @@ StorageNode::handleRequest(IoRequest req)
         tca_.sendMessage(req.replyTo, msg_bytes, hdr,
                          std::move(reply), tagIoReply);
     }
+    --inflight_;
 }
 
 net::PayloadPtr

@@ -20,6 +20,7 @@
 #include "io/IoRequest.hh"
 #include "io/ScsiBus.hh"
 #include "net/Adapter.hh"
+#include "obs/Metrics.hh"
 #include "sim/Simulation.hh"
 #include "sim/Task.hh"
 
@@ -77,10 +78,20 @@ class StorageNode
     bool hasDeviceFilter() const { return static_cast<bool>(filter_.process); }
 
     std::uint64_t requestsServed() const { return requests_; }
+    /** Requests accepted but not yet fully streamed back. */
+    unsigned outstanding() const { return inflight_; }
     /** Busy time of the embedded device core (if installed). */
     sim::Tick deviceBusyTicks() const { return deviceBusy_; }
     /** Bytes dropped at the device, never entering the fabric. */
     std::uint64_t bytesFilteredAtDevice() const { return filtered_; }
+
+    /**
+     * Register the node's timeline under @p prefix: outstanding I/Os,
+     * requests per interval, mean spindle busy fraction, and bytes per
+     * interval off the media and over the SCSI bus.
+     */
+    void registerMetrics(obs::MetricsRegistry &m,
+                         const std::string &prefix) const;
 
   private:
     sim::Task serve();
@@ -92,6 +103,7 @@ class StorageNode
     DiskArray disks_;
     ScsiBus bus_;
     std::uint64_t requests_ = 0;
+    unsigned inflight_ = 0;
 
     DeviceFilter filter_{};
     sim::Tick devicePeriod_ = 0;   //!< ps per device instruction

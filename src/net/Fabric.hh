@@ -73,6 +73,10 @@ class Fabric
     {
         return adapters_;
     }
+    const std::vector<std::unique_ptr<Link>> &links() const
+    {
+        return links_;
+    }
 
   private:
     std::size_t switchIndex(const Switch &sw) const;

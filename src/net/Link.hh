@@ -17,6 +17,7 @@
 #include <string>
 
 #include "net/Packet.hh"
+#include "obs/Metrics.hh"
 #include "sim/Simulation.hh"
 #include "sim/Types.hh"
 
@@ -72,12 +73,30 @@ class Link
     unsigned credits() const { return credits_; }
     std::uint64_t packetsSent() const { return packets_; }
     std::uint64_t bytesSent() const { return bytes_; }
+    /** Cumulative wire occupancy (serialization time) in ticks. */
+    sim::Tick busyTicks() const { return busyTicks_; }
 
     /** Serialization time of one packet on this link. */
     sim::Tick
     serialization(const Packet &pkt) const
     {
         return sim::transferTime(pkt.wireBytes(), psPerByte_);
+    }
+
+    /**
+     * Register this link's timeline gauges: bytes per interval, wire
+     * utilization (serialization time / elapsed), and send-queue
+     * depth, all named after the link.
+     */
+    void
+    registerMetrics(obs::MetricsRegistry &m) const
+    {
+        m.add(name_ + ".bytes", obs::GaugeKind::Rate,
+              [this] { return static_cast<double>(bytes_); });
+        m.add(name_ + ".util", obs::GaugeKind::TimeShare,
+              [this] { return static_cast<double>(busyTicks_); });
+        m.add(name_ + ".queued", obs::GaugeKind::Gauge,
+              [this] { return static_cast<double>(queue_.size()); });
     }
 
   private:
@@ -94,6 +113,7 @@ class Link
             wireFree_ = start + ser;
             ++packets_;
             bytes_ += pkt.wireBytes();
+            busyTicks_ += ser;
             const sim::Tick first = start + params_.propagation;
             const sim::Tick end = first + ser;
             if (auto *tr = sim_.tracer())
@@ -122,6 +142,7 @@ class Link
     sim::Tick wireFree_ = 0;
     std::uint64_t packets_ = 0;
     std::uint64_t bytes_ = 0;
+    sim::Tick busyTicks_ = 0;
 };
 
 } // namespace san::net

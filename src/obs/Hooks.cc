@@ -9,4 +9,11 @@ globalTracer()
     return tracer;
 }
 
+IntervalSampler *&
+globalSampler()
+{
+    static IntervalSampler *sampler = nullptr;
+    return sampler;
+}
+
 } // namespace san::obs

@@ -17,11 +17,20 @@
 
 namespace san::obs {
 
+class IntervalSampler;
+
 /**
  * The tracer newly built simulations should attach, or nullptr.
  * Owned by whoever installed it (typically bench::init()).
  */
 sim::Tracer *&globalTracer();
+
+/**
+ * The interval sampler newly built clusters should register their
+ * gauges with and attach to their event queue, or nullptr. Owned by
+ * whoever installed it (typically bench::init()).
+ */
+IntervalSampler *&globalSampler();
 
 } // namespace san::obs
 

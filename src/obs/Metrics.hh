@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Time-series metrics: a pull-based gauge registry plus an interval
+ * sampler producing byte-stable CSV/JSONL utilization timelines.
+ *
+ * Components register named sampling callbacks (no per-event
+ * bookkeeping of their own); the IntervalSampler wakes at every
+ * --metrics-interval boundary of simulated time and appends one row
+ * per interval. It is implemented as a chained EventQueue observer
+ * rather than a self-rescheduling sim process, for two reasons that
+ * matter to reproducibility:
+ *
+ *  - sampling adds no events, so enabling metrics changes neither
+ *    the simulated end time nor the run fingerprint, and
+ *  - the queue still drains naturally, so `Simulation::run()`
+ *    terminates exactly as it would without metrics.
+ *
+ * Counters only change when events execute, so observing the first
+ * event at tick >= boundary B sees precisely the state "at B". A row
+ * at B therefore reflects everything that happened in (prev row, B];
+ * a run ending mid-interval flushes one final partial row at the end
+ * tick (finishRun()).
+ */
+
+#ifndef SAN_OBS_METRICS_HH
+#define SAN_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/EventQueue.hh"
+#include "sim/Tracer.hh"
+#include "sim/Types.hh"
+
+namespace san::obs {
+
+/**
+ * How a registered callback's cumulative value turns into the column
+ * value of one row.
+ */
+enum class GaugeKind {
+    Gauge,     //!< instantaneous value, emitted as-is (depth, occupancy)
+    Rate,      //!< cumulative counter, emitted as delta per interval
+    TimeShare, //!< cumulative ticks, emitted as delta / elapsed (0..1)
+    IdleShare, //!< cumulative ticks, emitted as 1 - delta / elapsed
+};
+
+/** Named pull-based gauges, sampled together by an IntervalSampler. */
+class MetricsRegistry
+{
+  public:
+    using Sample = std::function<double()>;
+
+    struct Entry {
+        std::string name;
+        GaugeKind kind;
+        Sample fn;
+        double prev = 0.0; //!< last sampled raw value (delta kinds)
+    };
+
+    /**
+     * Register a gauge. Names are the CSV column headers, so they
+     * must be unique; @throws std::invalid_argument on a duplicate.
+     */
+    void add(std::string name, GaugeKind kind, Sample fn);
+
+    /** Drop every gauge (a new run registers a fresh component set). */
+    void clear() { entries_.clear(); }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    std::vector<Entry> &entries() { return entries_; }
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+/** Output flavour of the time series. */
+enum class MetricsFormat { Csv, Jsonl };
+
+/**
+ * Samples every registered gauge at fixed intervals of simulated
+ * time, appending one row per interval to a stream. Attach to one
+ * run's EventQueue (chains in front of any installed observer, e.g.
+ * the run fingerprint, and forwards to it) and finishRun() when the
+ * run ends to flush the final partial row.
+ */
+class IntervalSampler final : public sim::EventQueue::Observer
+{
+  public:
+    /** Rows go to @p os; one row per @p interval ticks. */
+    IntervalSampler(std::ostream &os, sim::Tick interval,
+                    MetricsFormat format = MetricsFormat::Csv);
+
+    MetricsRegistry &registry() { return registry_; }
+
+    /** Label for the rows of subsequent runs (bench mode name). */
+    void setRunLabel(std::string label) { runLabel_ = std::move(label); }
+
+    /**
+     * Also emit every sampled value as a Chrome trace_event counter
+     * ("ph":"C") on @p mirror, so timelines appear under the trace
+     * viewer next to the span tracks. Null disables mirroring.
+     */
+    void setMirror(sim::Tracer *mirror) { mirror_ = mirror; }
+
+    /**
+     * Start observing @p events: chains in front of the currently
+     * installed observer and resets per-run sampling state. Register
+     * this run's gauges (registry().clear() + add) around this call;
+     * columns are latched when the first row is written.
+     */
+    void attach(sim::EventQueue &events);
+
+    /**
+     * Flush rows up to @p end — including one final partial row if
+     * the run ended mid-interval — and restore the chained observer.
+     * No-op when not attached.
+     */
+    void finishRun(sim::Tick end);
+
+    /** Data rows written so far (header lines excluded). */
+    std::uint64_t rowsWritten() const { return rows_; }
+
+    void onEvent(sim::Tick when, std::uint64_t seq) override;
+
+  private:
+    void row(sim::Tick at);
+    void writeHeaderIfNeeded();
+
+    std::ostream &os_;
+    sim::Tick interval_;
+    MetricsFormat format_;
+    MetricsRegistry registry_;
+    std::string runLabel_ = "run";
+    sim::Tracer *mirror_ = nullptr;
+
+    sim::EventQueue *events_ = nullptr;
+    sim::EventQueue::Observer *inner_ = nullptr;
+    sim::Tick nextSample_ = 0;
+    sim::Tick prevRow_ = 0;
+    bool anyRowThisRun_ = false;
+    std::uint64_t rows_ = 0;
+    /** Column names of the last header written (re-emitted if the
+     * registered gauge set ever changes between runs). */
+    std::vector<std::string> headerNames_;
+};
+
+} // namespace san::obs
+
+#endif // SAN_OBS_METRICS_HH

@@ -137,4 +137,17 @@ ChromeTracer::asyncEnd(const std::string &track, const char *name,
     os_ << ",\"id\":" << id << "}";
 }
 
+void
+ChromeTracer::counter(const std::string &track, const char *name,
+                      sim::Tick at, double value)
+{
+    const int tid = tidFor(track);
+    header("C", name, tid, at);
+    os_ << ",\"args\":{\"value\":";
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    os_.write(buf, res.ptr - buf);
+    os_ << "}}";
+}
+
 } // namespace san::obs

@@ -56,6 +56,8 @@ class ChromeTracer : public sim::Tracer
                     std::uint64_t id, sim::Tick at) override;
     void asyncEnd(const std::string &track, const char *name,
                   std::uint64_t id, sim::Tick at) override;
+    void counter(const std::string &track, const char *name,
+                 sim::Tick at, double value) override;
 
   private:
     int tidFor(const std::string &track);

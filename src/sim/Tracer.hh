@@ -49,6 +49,22 @@ class Tracer
     virtual void asyncEnd(const std::string &track, const char *name,
                           std::uint64_t id, Tick at) = 0;
     /** @} */
+
+    /**
+     * A sampled counter value (utilization, occupancy, rate) named
+     * @p name on @p track at time @p at. Defaulted to a no-op so
+     * exporters that only care about spans need not implement it;
+     * obs::ChromeTracer renders these as "ph":"C" counter tracks.
+     */
+    virtual void
+    counter(const std::string &track, const char *name, Tick at,
+            double value)
+    {
+        (void)track;
+        (void)name;
+        (void)at;
+        (void)value;
+    }
 };
 
 } // namespace san::sim

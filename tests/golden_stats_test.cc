@@ -1,8 +1,8 @@
 /**
  * @file
- * Golden-stats regression suite: run a small cluster in each of the
- * paper's four configurations, dump the machine-readable stats, and
- * compare byte-for-byte against checked-in golden files.
+ * Golden-stats regression suite: run small clusters in the paper's
+ * configurations, dump the machine-readable stats, and compare
+ * byte-for-byte against checked-in golden files.
  *
  * Any change to simulated timing, cache behaviour, traffic or the
  * stats schema shows up here. If the change is intended, regenerate
@@ -21,6 +21,7 @@
 #include <string>
 
 #include "apps/Cluster.hh"
+#include "apps/Grep.hh"
 #include "apps/MpegFilter.hh"
 #include "harness/StatsReport.hh"
 #include "obs/Json.hh"
@@ -33,10 +34,30 @@ namespace {
 
 using namespace san;
 
-/** The golden workload: a small MPEG filter run (fast, exercises
- * hosts, switch CPUs, buffers, ATBs, storage and adapters). */
+/** One golden case: a workload at reduced size, in one mode. */
+struct GoldenCase {
+    const char *workload;
+    apps::Mode mode;
+};
+
+/** Small runs that still exercise hosts, switch CPUs, buffers, ATBs,
+ * storage and adapters. */
+void
+runWorkload(const GoldenCase &c)
+{
+    if (std::string(c.workload) == "mpeg") {
+        apps::MpegParams params;
+        params.fileBytes = 256 * 1024;
+        runMpegFilter(c.mode, params);
+    } else {
+        apps::GrepParams params;
+        params.fileBytes = 70 * 2048; // 2048 lines instead of 16384
+        runGrep(c.mode, params);
+    }
+}
+
 std::string
-statsJsonFor(apps::Mode mode)
+statsJsonFor(const GoldenCase &c)
 {
     std::string captured;
     apps::clusterObserver() = [&captured](apps::Cluster &cluster,
@@ -46,32 +67,31 @@ statsJsonFor(apps::Mode mode)
         harness::dumpClusterStatsJson(json, cluster);
         captured = oss.str();
     };
-    apps::MpegParams params;
-    params.fileBytes = 256 * 1024;
-    runMpegFilter(mode, params);
+    runWorkload(c);
     apps::clusterObserver() = apps::ClusterObserver{};
     return captured;
 }
 
 std::string
-goldenPathFor(apps::Mode mode)
+goldenPathFor(const GoldenCase &c)
 {
-    std::string name = apps::modeName(mode);
-    for (char &c : name)
-        if (c == '+')
-            c = '_';
-    return std::string(SAN_GOLDEN_DIR) + "/mpeg_" + name + ".json";
+    std::string name = apps::modeName(c.mode);
+    for (char &c2 : name)
+        if (c2 == '+')
+            c2 = '_';
+    return std::string(SAN_GOLDEN_DIR) + "/" + c.workload + "_" + name +
+           ".json";
 }
 
-class GoldenStats : public ::testing::TestWithParam<apps::Mode>
+class GoldenStats : public ::testing::TestWithParam<GoldenCase>
 {};
 
 TEST_P(GoldenStats, MatchesGoldenFile)
 {
-    const apps::Mode mode = GetParam();
-    const std::string actual = statsJsonFor(mode);
+    const GoldenCase &c = GetParam();
+    const std::string actual = statsJsonFor(c);
     ASSERT_FALSE(actual.empty());
-    const std::string path = goldenPathFor(mode);
+    const std::string path = goldenPathFor(c);
 
     if (std::getenv("SAN_UPDATE_GOLDEN") != nullptr) {
         std::ofstream out(path);
@@ -92,11 +112,16 @@ TEST_P(GoldenStats, MatchesGoldenFile)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Modes, GoldenStats,
-    ::testing::Values(apps::Mode::Normal, apps::Mode::NormalPref,
-                      apps::Mode::Active, apps::Mode::ActivePref),
-    [](const ::testing::TestParamInfo<apps::Mode> &info) {
-        std::string name = apps::modeName(info.param);
+    Workloads, GoldenStats,
+    ::testing::Values(GoldenCase{"mpeg", apps::Mode::Normal},
+                      GoldenCase{"mpeg", apps::Mode::NormalPref},
+                      GoldenCase{"mpeg", apps::Mode::Active},
+                      GoldenCase{"mpeg", apps::Mode::ActivePref},
+                      GoldenCase{"grep", apps::Mode::Normal},
+                      GoldenCase{"grep", apps::Mode::Active}),
+    [](const ::testing::TestParamInfo<GoldenCase> &info) {
+        std::string name = std::string(info.param.workload) + "_" +
+                           apps::modeName(info.param.mode);
         for (char &c : name)
             if (c == '+')
                 c = 'P';
