@@ -14,6 +14,19 @@
  *                        (CSV, or JSONL when the file ends .jsonl)
  *   --metrics-interval <micros>  sampling interval in simulated
  *                        microseconds (default 100)
+ *
+ * Fault-injection flags (see DESIGN.md "Fault model and recovery"):
+ *   --fault-spec KIND:RATE[:SEED]  arm a rate-driven fault class
+ *                        (link-ber, credit-loss, handler-crash,
+ *                        disk-spike, disk-timeout; "none:0" arms the
+ *                        recovery protocol without injecting).
+ *                        Repeatable.
+ *   --fault-at TICK:KIND:TARGET  schedule one fault at/after TICK
+ *                        picoseconds on a named component (a link
+ *                        name, a storage TCA name, or a handler id
+ *                        for handler-crash). Repeatable.
+ *   --fault-seed SEED    base seed of every fault stream (default
+ *                        fault::FaultPlan::defaultSeed)
  */
 
 #ifndef SAN_BENCH_BENCH_COMMON_HH
@@ -29,8 +42,11 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "apps/Cluster.hh"
 #include "apps/RunConfig.hh"
+#include "fault/FaultPlan.hh"
 #include "harness/Report.hh"
 #include "harness/StatsReport.hh"
 #include "obs/Hooks.hh"
@@ -48,6 +64,9 @@ struct BenchOptions {
     std::string tracePath;
     std::string metricsCsvPath;
     sim::Tick metricsInterval = sim::us(100);
+    std::vector<fault::FaultSpec> faultSpecs;
+    std::vector<fault::FaultEvent> faultEvents;
+    std::uint64_t faultSeed = fault::FaultPlan::defaultSeed;
 };
 
 /** The options parsed by init() (defaults if init was never called). */
@@ -94,7 +113,51 @@ metricsState()
     return state;
 }
 
+/**
+ * The installed fault plan. Rebuilt per mode by runFigure() so every
+ * mode sees the same fault schedule (one-shot --fault-at events
+ * re-arm, rate streams restart from their seeds).
+ */
+struct FaultState {
+    std::unique_ptr<fault::FaultPlan> plan;
+};
+
+inline FaultState &
+faultState()
+{
+    static FaultState state;
+    return state;
+}
+
 } // namespace detail
+
+/** True when any --fault-spec / --fault-at flag was given. */
+inline bool
+faultsConfigured()
+{
+    return !options().faultSpecs.empty() ||
+           !options().faultEvents.empty();
+}
+
+/**
+ * (Re)build the fault plan from the parsed flags and install it via
+ * fault::globalPlan(). No-op without fault flags, so fault-free runs
+ * keep the zero-overhead fast path.
+ */
+inline void
+installFaultPlan()
+{
+    if (!faultsConfigured())
+        return;
+    const BenchOptions &opts = options();
+    auto &fs = detail::faultState();
+    fs.plan = std::make_unique<fault::FaultPlan>(opts.faultSeed);
+    for (const auto &spec : opts.faultSpecs)
+        fs.plan->addSpec(spec);
+    for (const auto &event : opts.faultEvents)
+        fs.plan->addEvent(event);
+    fault::globalPlan() = fs.plan.get();
+}
 
 /**
  * Parse the shared flags and install the requested instrumentation
@@ -148,6 +211,47 @@ init(int argc, char **argv)
             if (opts.metricsInterval == 0) {
                 std::cerr << "error: --metrics-interval '" << arg
                           << "' is below one picosecond\n";
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[i], "--fault-spec") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --fault-spec requires "
+                             "KIND:RATE[:SEED]\n";
+                std::exit(2);
+            }
+            std::string error;
+            const auto spec =
+                fault::FaultPlan::parseSpec(argv[++i], &error);
+            if (!spec) {
+                std::cerr << "error: --fault-spec: " << error << "\n";
+                std::exit(2);
+            }
+            opts.faultSpecs.push_back(*spec);
+        } else if (std::strcmp(argv[i], "--fault-at") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --fault-at requires "
+                             "TICK:KIND:TARGET\n";
+                std::exit(2);
+            }
+            std::string error;
+            auto event = fault::FaultPlan::parseAt(argv[++i], &error);
+            if (!event) {
+                std::cerr << "error: --fault-at: " << error << "\n";
+                std::exit(2);
+            }
+            opts.faultEvents.push_back(std::move(*event));
+        } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --fault-seed requires a value\n";
+                std::exit(2);
+            }
+            const char *arg = argv[++i];
+            char *end = nullptr;
+            opts.faultSeed = std::strtoull(arg, &end, 0);
+            if (end == arg || *end != '\0') {
+                std::cerr << "error: --fault-seed needs an integer, "
+                             "got '"
+                          << arg << "'\n";
                 std::exit(2);
             }
         }
@@ -212,6 +316,11 @@ init(int argc, char **argv)
             detail::capturedStats()[apps::modeName(mode)] = oss.str();
         };
     }
+
+    installFaultPlan();
+    if (faultsConfigured())
+        std::cerr << "fault plan:\n"
+                  << detail::faultState().plan->describe();
     return opts;
 }
 
@@ -279,6 +388,9 @@ runFigure(const std::string &overview_title,
         if (detail::metricsState().sampler)
             detail::metricsState().sampler->setRunLabel(
                 apps::modeName(apps::allModes[i]));
+        // Fresh plan per mode: one-shot events re-arm, rate streams
+        // restart, so every mode faces the same fault schedule.
+        installFaultPlan();
         results[i] = run_one(apps::allModes[i]);
     }
 

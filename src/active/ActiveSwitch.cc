@@ -159,6 +159,14 @@ ActiveSwitch::ActiveSwitch(sim::Simulation &sim, std::string name,
             sim, mem_params.name, mem_params, config_.cpuHz));
         cpuLoad_.push_back(0);
     }
+    if (fault::FaultPlan *plan = fault::globalPlan()) {
+        plan_ = plan;
+        crashSite_ =
+            plan->site(fault::FaultKind::HandlerCrash, this->name());
+        rel_ = std::make_unique<fault::ReliableChannel>(
+            sim, this->name(), id, plan->recovery(),
+            [this](net::Packet pkt) { inject(std::move(pkt)); });
+    }
 }
 
 void
@@ -193,6 +201,11 @@ ActiveSwitch::registerMetrics(obs::MetricsRegistry &m) const
 void
 ActiveSwitch::deliverLocal(const net::Arrival &arrival)
 {
+    // Recovery protocol first: it consumes ACK/NACK control packets
+    // addressed to the switch, corrupted packets and duplicates, so a
+    // handler sees every chunk exactly once.
+    if (rel_ && rel_->onArrival(arrival))
+        return;
     if (!arrival.pkt.active) {
         sim::logAt(sim::LogLevel::Warn, name(), sim_.now(),
                    "non-active packet addressed to switch; dropped");
@@ -264,9 +277,16 @@ ActiveSwitch::tryStage(const net::Arrival &arrival)
     const net::Packet &pkt = arrival.pkt;
     const std::uint8_t hid = pkt.activeHdr.handlerId;
     if (!jumpTable_[hid]) {
-        sim::logAt(sim::LogLevel::Warn, name(), sim_.now(),
-                   "no handler registered for id ",
-                   static_cast<int>(hid), "; packet dropped");
+        ++dropped_;
+        const std::uint64_t bit = 1ull << (hid & 63u);
+        if (!(warnedHandlers_ & bit)) {
+            warnedHandlers_ |= bit;
+            sim::logAt(sim::LogLevel::Warn, name(), sim_.now(),
+                       "no handler registered for id ",
+                       static_cast<int>(hid),
+                       "; dropping its packets (warned once per id, "
+                       "counted in droppedPackets)");
+        }
         return true; // drop rather than wedge the pending queue
     }
 
@@ -358,9 +378,61 @@ ActiveSwitch::pickCpu(std::uint8_t cpu_id)
     return 0;
 }
 
+bool
+ActiveSwitch::crashAtLaunch(const InstanceKey &key)
+{
+    if (crashSite_ != nullptr && crashSite_->fire())
+        return true;
+    return plan_ != nullptr &&
+           plan_->eventPending(fault::FaultKind::HandlerCrash) &&
+           plan_->eventDue(fault::FaultKind::HandlerCrash,
+                           std::to_string(key.first), sim_.now());
+}
+
 sim::Task
 ActiveSwitch::runInstance(InstanceKey key, HandlerFn fn)
 {
+    // Crash injection happens at instance launch (the handler faults
+    // in its prologue, before consuming any stream state): the
+    // dispatch unit's watchdog notices the dead instance and
+    // relaunches it on the next switch CPU. Chunks staged meanwhile
+    // queue in the instance channel, so no stream data is lost.
+    if (plan_ != nullptr) {
+        unsigned crashes = 0;
+        while (crashes < plan_->recovery().maxFailovers &&
+               crashAtLaunch(key)) {
+            ++crashes;
+            ++failovers_;
+            Instance &inst = instances_.at(key);
+            sim::logAt(sim::LogLevel::Warn, name(), sim_.now(),
+                       "handler ", static_cast<int>(key.first),
+                       " crashed on sp", inst.cpuIndex,
+                       "; failing over (attempt ", crashes, ")");
+            if (auto *tr = sim_.tracer()) {
+                tr->instant(name() + ".sp" +
+                                std::to_string(inst.cpuIndex),
+                            "handler-crash", sim_.now());
+                tr->asyncEnd(name() + ".sp" +
+                                 std::to_string(inst.cpuIndex),
+                             jumpTable_[key.first]->name.c_str(),
+                             (std::uint64_t(key.first) << 8) |
+                                 key.second,
+                             sim_.now());
+            }
+            --cpuLoad_[inst.cpuIndex];
+            inst.cpuIndex = (inst.cpuIndex + 1) % cpuCount();
+            inst.ctx->cpuIndex_ = inst.cpuIndex;
+            ++cpuLoad_[inst.cpuIndex];
+            co_await sim::Delay{plan_->recovery().failoverLatency};
+            if (auto *tr = sim_.tracer())
+                tr->asyncBegin(name() + ".sp" +
+                                   std::to_string(inst.cpuIndex),
+                               jumpTable_[key.first]->name.c_str(),
+                               (std::uint64_t(key.first) << 8) |
+                                   key.second,
+                               sim_.now());
+        }
+    }
     // The instance entry outlives the handler body (std::map nodes
     // are stable); it is reaped here once the handler returns.
     co_await fn(*instances_.at(key).ctx);
@@ -423,7 +495,10 @@ ActiveSwitch::sendUnit(net::NodeId dst, std::uint64_t bytes,
         pkt.messageBytes = bytes;
         if (pkt.last)
             pkt.payload = payload;
-        inject(std::move(pkt));
+        if (rel_)
+            rel_->send(std::move(pkt));
+        else
+            inject(std::move(pkt));
     } while (remaining > 0);
 }
 

@@ -32,6 +32,8 @@
 #include "active/Atb.hh"
 #include "active/DataBuffer.hh"
 #include "cpu/Cpu.hh"
+#include "fault/FaultPlan.hh"
+#include "fault/Reliable.hh"
 #include "net/Switch.hh"
 #include "sim/Simulation.hh"
 #include "sim/Sync.hh"
@@ -189,6 +191,16 @@ class ActiveSwitch : public net::Switch
     std::uint64_t handlersInvoked() const { return invoked_; }
     std::uint64_t chunksStaged() const { return staged_; }
     std::uint64_t dispatchStalls() const { return dispatchStalls_; }
+    /** Packets dropped for want of a registered handler. */
+    std::uint64_t droppedPackets() const { return dropped_; }
+    /** Crashed handler instances recovered by relaunching. */
+    std::uint64_t handlerFailovers() const { return failovers_; }
+
+    /**
+     * The switch's recovery engine, armed iff a fault plan was
+     * installed at construction; nullptr otherwise.
+     */
+    const fault::ReliableChannel *reliable() const { return rel_.get(); }
     /** Packets waiting on a free buffer / ATB slot right now. */
     std::size_t pendingDepth() const { return pending_.size(); }
 
@@ -240,6 +252,9 @@ class ActiveSwitch : public net::Switch
                   std::optional<net::ActiveHeader> active,
                   net::PayloadPtr payload, std::uint32_t tag);
 
+    /** An injected crash hits this instance launch? */
+    bool crashAtLaunch(const InstanceKey &key);
+
     /** Release one data buffer, crediting its owning instance. */
     void releaseBuffer(unsigned buf_id);
 
@@ -264,6 +279,15 @@ class ActiveSwitch : public net::Switch
     std::uint64_t invoked_ = 0;
     std::uint64_t staged_ = 0;
     std::uint64_t dispatchStalls_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t failovers_ = 0;
+    /** Handler ids already warned about (one bit per 6-bit id). */
+    std::uint64_t warnedHandlers_ = 0;
+
+    fault::FaultPlan *plan_ = nullptr;   //!< null: no faults, no cost
+    fault::FaultSite *crashSite_ = nullptr;
+    std::unique_ptr<fault::ReliableChannel> rel_;
+
     static std::uint64_t nextMessageId_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "fault/FaultPlan.hh"
 #include "obs/Hooks.hh"
 #include "obs/Metrics.hh"
 
@@ -57,6 +58,32 @@ Cluster::Cluster(const ClusterParams &params)
                 sampler->registry(), "storage" + std::to_string(i));
         for (const auto &link : fabric_.links())
             link->registerMetrics(sampler->registry());
+        // Recovery timelines, only meaningful under a fault plan.
+        if (fault::globalPlan() != nullptr) {
+            obs::MetricsRegistry &m = sampler->registry();
+            m.add("fault.injected", obs::GaugeKind::Rate, [] {
+                return static_cast<double>(
+                    fault::globalPlan()->injected());
+            });
+            m.add("net.retransmits", obs::GaugeKind::Rate, [this] {
+                std::uint64_t n = 0;
+                for (const auto &a : fabric_.adapters())
+                    if (const auto *rel = a->reliable())
+                        n += rel->retransmits();
+                if (const auto *rel = sw_->reliable())
+                    n += rel->retransmits();
+                return static_cast<double>(n);
+            });
+            m.add("switch.failovers", obs::GaugeKind::Rate, [this] {
+                return static_cast<double>(sw_->handlerFailovers());
+            });
+            m.add("io.retries", obs::GaugeKind::Rate, [this] {
+                std::uint64_t n = 0;
+                for (const auto &s : storage_)
+                    n += s->ioRetries();
+                return static_cast<double>(n);
+            });
+        }
         sampler->attach(sim_.events());
     }
 }
@@ -95,6 +122,36 @@ Cluster::collect(Mode mode)
                             : 0.0;
             stats.handlerProfiles.push_back(std::move(out));
         }
+    }
+
+    // Recovery counters, only when a fault plan drove the run. They
+    // are NOT folded into the fingerprint: the event stream already
+    // captures fault timing, and keeping them out lets a fault-free
+    // plan ("none:0") reproduce the no-plan fingerprint modulo the
+    // protocol's own control traffic.
+    if (const fault::FaultPlan *plan = fault::globalPlan()) {
+        FaultStats &f = stats.faults;
+        f.active = true;
+        f.injected = plan->injected();
+        const auto fold = [&f](const fault::ReliableChannel *rel) {
+            if (rel == nullptr)
+                return;
+            f.retransmits += rel->retransmits();
+            f.timeouts += rel->timeouts();
+            f.crcDrops += rel->crcDrops();
+            f.dupDrops += rel->dupDrops();
+            f.flowAborts += rel->aborts();
+        };
+        for (const auto &a : fabric_.adapters())
+            fold(a->reliable());
+        fold(sw_->reliable());
+        f.failovers = sw_->handlerFailovers();
+        for (const auto &s : storage_) {
+            f.ioRetries += s->ioRetries();
+            f.ioErrors += s->ioErrors();
+        }
+        for (const auto &link : fabric_.links())
+            f.creditsLost += link->creditsLost();
     }
 
     // Fold the end-of-run stat values on top of the per-event stream

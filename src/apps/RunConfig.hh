@@ -74,6 +74,26 @@ struct HandlerCpuProfile {
     double cyclesPerByte = 0.0; //!< busyCycles / bytes processed
 };
 
+/**
+ * Fault-injection and recovery counters of one run. All zero — and
+ * `active` false — unless a fault plan was installed (fault/): the
+ * struct exists so reliability sweeps can read recovery behaviour
+ * without touching component internals.
+ */
+struct FaultStats {
+    bool active = false;           //!< a fault plan drove this run
+    std::uint64_t injected = 0;    //!< total faults injected
+    std::uint64_t retransmits = 0; //!< data packets resent (all flows)
+    std::uint64_t timeouts = 0;    //!< retransmit-timer expiries
+    std::uint64_t crcDrops = 0;    //!< corrupt packets caught on arrival
+    std::uint64_t dupDrops = 0;    //!< duplicates suppressed (dedup)
+    std::uint64_t failovers = 0;   //!< handler crash relaunches
+    std::uint64_t ioRetries = 0;   //!< disk chunk reads re-issued
+    std::uint64_t ioErrors = 0;    //!< completions with error status
+    std::uint64_t creditsLost = 0; //!< link credit flits lost
+    std::uint64_t flowAborts = 0;  //!< flows past the retry budget
+};
+
 /** Results of one benchmark run in one mode. */
 struct RunStats {
     Mode mode = Mode::Normal;
@@ -99,6 +119,10 @@ struct RunStats {
 
     /** Optional semantic check result (digest, match count...). */
     std::string checksum;
+
+    /** Fault/recovery counters; all-zero without a fault plan. NOT
+     * folded into the fingerprint (the event stream already is). */
+    FaultStats faults;
 
     /** Mean host utilization: (1 - idle/total). */
     double

@@ -2,9 +2,32 @@
 
 #include <ostream>
 
+#include "fault/FaultPlan.hh"
+#include "fault/Reliable.hh"
+
 namespace san::harness {
 
 namespace {
+
+/**
+ * Sum one reliable-delivery counter over every endpoint engine in the
+ * cluster (host HCAs, storage TCAs, the switch itself).
+ */
+template <typename Getter>
+std::uint64_t
+sumReliable(apps::Cluster &cluster, Getter get)
+{
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < cluster.hostCount(); ++i)
+        if (const auto *rel = cluster.host(i).hca().reliable())
+            total += get(*rel);
+    for (unsigned i = 0; i < cluster.storageCount(); ++i)
+        if (const auto *rel = cluster.storage(i).tca().reliable())
+            total += get(*rel);
+    if (const auto *rel = cluster.sw().reliable())
+        total += get(*rel);
+    return total;
+}
 
 void
 dumpCache(std::ostream &os, const std::string &prefix, mem::Cache &c)
@@ -96,8 +119,13 @@ dumpClusterStats(std::ostream &os, apps::Cluster &cluster)
        << sw.name() << ".handlersInvoked " << sw.handlersInvoked()
        << '\n'
        << sw.name() << ".chunksStaged " << sw.chunksStaged() << '\n'
-       << sw.name() << ".dispatchStalls " << sw.dispatchStalls() << '\n'
-       << sw.name() << ".buffers.allocations "
+       << sw.name() << ".dispatchStalls " << sw.dispatchStalls() << '\n';
+    // Emitted only when nonzero so fault-free reports stay
+    // byte-identical to the pre-fault-subsystem goldens.
+    if (sw.droppedPackets() != 0)
+        os << sw.name() << ".droppedPackets " << sw.droppedPackets()
+           << '\n';
+    os << sw.name() << ".buffers.allocations "
        << sw.buffers().allocations() << '\n'
        << sw.name() << ".buffers.peakInUse " << sw.buffers().peakInUse()
        << '\n'
@@ -132,6 +160,42 @@ dumpClusterStats(std::ostream &os, apps::Cluster &cluster)
            << prefix << ".scsi.bytes " << s.bus().bytesTransferred()
            << '\n'
            << prefix << ".scsi.transactions " << s.bus().transactions()
+           << '\n';
+        if (s.ioRetries() != 0 || s.ioErrors() != 0 ||
+            s.ioSpikes() != 0)
+            os << prefix << ".io.retries " << s.ioRetries() << '\n'
+               << prefix << ".io.errors " << s.ioErrors() << '\n'
+               << prefix << ".io.spikes " << s.ioSpikes() << '\n';
+    }
+
+    // The whole section appears only under a fault plan, keeping
+    // fault-free reports byte-identical to the seed goldens.
+    if (const fault::FaultPlan *plan = fault::globalPlan()) {
+        const auto sum = [&cluster](auto get) {
+            return sumReliable(cluster, get);
+        };
+        os << "fault.injected " << plan->injected() << '\n'
+           << "net.retransmits "
+           << sum([](const fault::ReliableChannel &r) {
+                  return r.retransmits();
+              })
+           << '\n'
+           << "net.timeouts "
+           << sum([](const fault::ReliableChannel &r) {
+                  return r.timeouts();
+              })
+           << '\n'
+           << "net.crcDrops "
+           << sum([](const fault::ReliableChannel &r) {
+                  return r.crcDrops();
+              })
+           << '\n'
+           << "net.dupDrops "
+           << sum([](const fault::ReliableChannel &r) {
+                  return r.dupDrops();
+              })
+           << '\n'
+           << "switch.failovers " << cluster.sw().handlerFailovers()
            << '\n';
     }
 }
@@ -197,6 +261,10 @@ dumpClusterStatsJson(obs::JsonWriter &json, apps::Cluster &cluster)
     json.kv("handlersInvoked", sw.handlersInvoked());
     json.kv("chunksStaged", sw.chunksStaged());
     json.kv("dispatchStalls", sw.dispatchStalls());
+    // Key only present when packets were dropped, so fault-free runs
+    // stay byte-identical to the seed goldens.
+    if (sw.droppedPackets() != 0)
+        json.kv("droppedPackets", sw.droppedPackets());
     json.key("buffers").beginObject();
     json.kv("allocations", sw.buffers().allocations());
     json.kv("peakInUse", sw.buffers().peakInUse());
@@ -255,6 +323,79 @@ dumpClusterStatsJson(obs::JsonWriter &json, apps::Cluster &cluster)
         json.endObject();
     }
     json.endArray();
+
+    // The fault object only exists under a fault plan, keeping
+    // fault-free stats JSON byte-identical to the seed goldens.
+    if (const fault::FaultPlan *plan = fault::globalPlan()) {
+        const auto sum = [&cluster](auto get) {
+            return sumReliable(cluster, get);
+        };
+        json.key("fault").beginObject();
+        json.kv("injected", plan->injected());
+        for (unsigned k = 1; k < fault::faultKindCount; ++k) {
+            const auto kind = static_cast<fault::FaultKind>(k);
+            if (plan->injectedOf(kind) != 0)
+                json.kv(std::string("injected.") +
+                            fault::faultKindName(kind),
+                        plan->injectedOf(kind));
+        }
+        json.key("net").beginObject();
+        json.kv("retransmits",
+                sum([](const fault::ReliableChannel &r) {
+                    return r.retransmits();
+                }));
+        json.kv("timeouts", sum([](const fault::ReliableChannel &r) {
+                    return r.timeouts();
+                }));
+        json.kv("crcDrops", sum([](const fault::ReliableChannel &r) {
+                    return r.crcDrops();
+                }));
+        json.kv("dupDrops", sum([](const fault::ReliableChannel &r) {
+                    return r.dupDrops();
+                }));
+        json.kv("oooDrops", sum([](const fault::ReliableChannel &r) {
+                    return r.oooDrops();
+                }));
+        json.kv("controlDrops",
+                sum([](const fault::ReliableChannel &r) {
+                    return r.controlDrops();
+                }));
+        json.kv("acksSent", sum([](const fault::ReliableChannel &r) {
+                    return r.acksSent();
+                }));
+        json.kv("nacksSent", sum([](const fault::ReliableChannel &r) {
+                    return r.nacksSent();
+                }));
+        json.kv("flowAborts", sum([](const fault::ReliableChannel &r) {
+                    return r.aborts();
+                }));
+        json.endObject();
+        json.key("switch").beginObject();
+        json.kv("failovers", cluster.sw().handlerFailovers());
+        json.kv("droppedPackets", cluster.sw().droppedPackets());
+        json.endObject();
+        json.key("io").beginObject();
+        std::uint64_t io_retries = 0, io_errors = 0, io_spikes = 0;
+        for (unsigned i = 0; i < cluster.storageCount(); ++i) {
+            io_retries += cluster.storage(i).ioRetries();
+            io_errors += cluster.storage(i).ioErrors();
+            io_spikes += cluster.storage(i).ioSpikes();
+        }
+        json.kv("retries", io_retries);
+        json.kv("errors", io_errors);
+        json.kv("spikes", io_spikes);
+        json.endObject();
+        json.key("links").beginObject();
+        std::uint64_t corrupted = 0, credits_lost = 0;
+        for (const auto &link : cluster.fabric().links()) {
+            corrupted += link->packetsCorrupted();
+            credits_lost += link->creditsLost();
+        }
+        json.kv("packetsCorrupted", corrupted);
+        json.kv("creditsLost", credits_lost);
+        json.endObject();
+        json.endObject();
+    }
 
     json.endObject();
 }

@@ -36,6 +36,12 @@ Host::demux()
             if (p.received == 0)
                 p.firstChunkAt = msg.firstArrival;
             p.received += reply.bytes;
+            if (reply.status != io::IoStatus::Ok) {
+                p.status = reply.status;
+                ++ioErrors_;
+                if (auto *tr = sim_.tracer())
+                    tr->instant(name_, "io-error", sim_.now());
+            }
             // Completion rides the final chunk's flag (not a byte
             // count): an active storage device may filter the stream,
             // delivering fewer bytes than were read from the media.
@@ -111,6 +117,7 @@ Host::awaitIo(std::uint64_t id)
     done.bytes = p.received; // may be < requested if device-filtered
     done.firstChunkAt = p.firstChunkAt;
     done.completedAt = p.completedAt;
+    done.status = p.status;
     pending_.erase(id);
     co_return done;
 }

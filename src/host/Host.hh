@@ -44,6 +44,9 @@ struct IoCompletion {
     std::uint64_t bytes = 0;
     sim::Tick firstChunkAt = 0;
     sim::Tick completedAt = 0;
+    /** Ok unless the storage node reported a failed chunk (disk
+     * timeouts past the retry cap). */
+    io::IoStatus status = io::IoStatus::Ok;
 };
 
 /** A host node on the SAN. */
@@ -126,6 +129,9 @@ class Host
         return hca_->bytesSent() + hca_->bytesReceived();
     }
 
+    /** I/O requests that completed with an error status. */
+    std::uint64_t ioErrors() const { return ioErrors_; }
+
     /**
      * Register this host's timeline under its name: CPU busy / stall
      * / idle fractions, outstanding I/O requests, and HCA bytes per
@@ -150,6 +156,7 @@ class Host
         sim::Tick firstChunkAt = 0;
         sim::Tick completedAt = 0;
         bool complete = false;
+        io::IoStatus status = io::IoStatus::Ok;
         std::unique_ptr<sim::Gate> gate;
     };
 
@@ -160,6 +167,7 @@ class Host
     net::Adapter *hca_;
     sim::Channel<net::Message> appRecv_;
     std::unordered_map<std::uint64_t, Pending> pending_;
+    std::uint64_t ioErrors_ = 0;
     mem::Addr bufferBrk_ = 0x100000000ull; // I/O buffer arena
     static std::uint64_t nextRequestId_;
 };

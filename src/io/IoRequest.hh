@@ -39,12 +39,21 @@ struct IoRequest {
     std::optional<net::ActiveHeader> replyActive;
 };
 
+/** Completion status of one storage chunk. */
+enum class IoStatus : std::uint8_t {
+    Ok = 0,
+    /** The storage node exhausted its retry budget on this chunk
+     * (injected disk timeouts); the data did not come back. */
+    Error = 1,
+};
+
 /** Tag carried by each data chunk coming back from storage. */
 struct IoReply {
     std::uint64_t requestId = 0;
     std::uint64_t offset = 0;            //!< offset of this chunk
     std::uint32_t bytes = 0;             //!< chunk payload size
     bool last = false;                   //!< final chunk of request
+    IoStatus status = IoStatus::Ok;
 };
 
 } // namespace san::io

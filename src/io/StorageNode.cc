@@ -3,13 +3,23 @@
 #include <cassert>
 #include <vector>
 
+#include "sim/Log.hh"
+
 namespace san::io {
 
 StorageNode::StorageNode(sim::Simulation &sim, net::Adapter &tca,
                          const StorageParams &params)
     : sim_(sim), tca_(tca), params_(params),
       disks_(params.disks, params.disk), bus_(params.scsi)
-{}
+{
+    if (fault::FaultPlan *plan = fault::globalPlan()) {
+        plan_ = plan;
+        spikeSite_ =
+            plan->site(fault::FaultKind::DiskSpike, tca_.name());
+        timeoutSite_ =
+            plan->site(fault::FaultKind::DiskTimeout, tca_.name());
+    }
+}
 
 void
 StorageNode::setDeviceFilter(DeviceFilter filter)
@@ -58,6 +68,51 @@ StorageNode::registerMetrics(obs::MetricsRegistry &m,
     });
 }
 
+sim::Tick
+StorageNode::readChunkFaulted(std::uint64_t offset, std::uint32_t bytes,
+                              bool *error)
+{
+    sim::Tick off_platter = disks_.readChunk(offset, bytes, sim_.now());
+    if (plan_ == nullptr)
+        return off_platter;
+    const fault::RecoveryParams &rp = plan_->recovery();
+    if ((spikeSite_ != nullptr && spikeSite_->fire()) ||
+        (plan_->eventPending(fault::FaultKind::DiskSpike) &&
+         plan_->eventDue(fault::FaultKind::DiskSpike, tca_.name(),
+                         sim_.now()))) {
+        // A media retry inside the drive: the data comes back, late.
+        ++spikes_;
+        off_platter += rp.diskSpikeDelay;
+        if (auto *tr = sim_.tracer())
+            tr->instant(tca_.name(), "disk-spike", sim_.now());
+    }
+    unsigned attempts = 0;
+    while ((timeoutSite_ != nullptr && timeoutSite_->fire()) ||
+           (plan_->eventPending(fault::FaultKind::DiskTimeout) &&
+            plan_->eventDue(fault::FaultKind::DiskTimeout, tca_.name(),
+                            sim_.now()))) {
+        if (attempts >= rp.diskMaxRetries) {
+            // Retry budget exhausted: complete the chunk with an
+            // error status the requester observes.
+            ++errors_;
+            *error = true;
+            sim::logAt(sim::LogLevel::Warn, tca_.name(), sim_.now(),
+                       "chunk read at offset ", offset, " failed after ",
+                       attempts, " retries; completing with error");
+            break;
+        }
+        ++attempts;
+        ++retries_;
+        if (auto *tr = sim_.tracer())
+            tr->instant(tca_.name(), "disk-timeout", sim_.now());
+        // The command timed out with no data; re-issue it after the
+        // timeout window. Occupancy restarts from the timeout expiry.
+        off_platter =
+            disks_.readChunk(offset, bytes, off_platter + rp.diskTimeout);
+    }
+    return off_platter;
+}
+
 sim::Task
 StorageNode::handleRequest(IoRequest req)
 {
@@ -72,6 +127,7 @@ StorageNode::handleRequest(IoRequest req)
         std::uint32_t bytes;    //!< bytes leaving the TCA
         std::uint32_t rawBytes; //!< bytes read off the media
         sim::Tick atTca;
+        bool error = false;     //!< read failed past the retry cap
     };
     std::vector<Slot> schedule;
     schedule.reserve(static_cast<std::size_t>(
@@ -81,8 +137,9 @@ StorageNode::handleRequest(IoRequest req)
     while (planned < req.bytes) {
         const std::uint32_t n = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(chunk, req.bytes - planned));
+        bool chunk_error = false;
         const sim::Tick off_platter =
-            disks_.readChunk(req.offset + planned, n, sim_.now());
+            readChunkFaulted(req.offset + planned, n, &chunk_error);
         sim::Tick at_tca = bus_.transfer(n, off_platter, first);
         first = false;
         std::uint32_t out_bytes = n;
@@ -101,8 +158,8 @@ StorageNode::handleRequest(IoRequest req)
             filtered_ += n - kept;
             out_bytes = kept;
         }
-        schedule.push_back(
-            Slot{req.offset + planned, out_bytes, n, at_tca});
+        schedule.push_back(Slot{req.offset + planned, out_bytes, n,
+                                at_tca, chunk_error});
         planned += n;
     }
 
@@ -114,6 +171,8 @@ StorageNode::handleRequest(IoRequest req)
         reply->requestId = req.requestId;
         reply->offset = slot.offset;
         reply->bytes = slot.bytes;
+        if (slot.error)
+            reply->status = IoStatus::Error;
         sent += slot.rawBytes;
         reply->last = (sent >= req.bytes);
         // For active replies the TCA advances the mapped address with

@@ -16,6 +16,7 @@
 #include <memory>
 #include <utility>
 
+#include "fault/FaultPlan.hh"
 #include "io/Disk.hh"
 #include "io/IoRequest.hh"
 #include "io/ScsiBus.hh"
@@ -80,6 +81,12 @@ class StorageNode
     std::uint64_t requestsServed() const { return requests_; }
     /** Requests accepted but not yet fully streamed back. */
     unsigned outstanding() const { return inflight_; }
+    /** Chunk reads re-issued after an injected timeout. */
+    std::uint64_t ioRetries() const { return retries_; }
+    /** Chunks that exhausted the retry budget (status Error). */
+    std::uint64_t ioErrors() const { return errors_; }
+    /** Chunk reads delayed by an injected latency spike. */
+    std::uint64_t ioSpikes() const { return spikes_; }
     /** Busy time of the embedded device core (if installed). */
     sim::Tick deviceBusyTicks() const { return deviceBusy_; }
     /** Bytes dropped at the device, never entering the fabric. */
@@ -97,6 +104,12 @@ class StorageNode
     sim::Task serve();
     sim::Task handleRequest(IoRequest req);
 
+    /** Disk occupancy for one chunk, with fault injection+recovery:
+     * spikes delay, timeouts re-issue up to the retry cap. Sets
+     * @p error when the budget is exhausted. */
+    sim::Tick readChunkFaulted(std::uint64_t offset, std::uint32_t bytes,
+                               bool *error);
+
     sim::Simulation &sim_;
     net::Adapter &tca_;
     StorageParams params_;
@@ -110,6 +123,13 @@ class StorageNode
     sim::Tick deviceFree_ = 0;     //!< device core occupancy
     sim::Tick deviceBusy_ = 0;
     std::uint64_t filtered_ = 0;
+
+    fault::FaultPlan *plan_ = nullptr; //!< null: no faults, no cost
+    fault::FaultSite *spikeSite_ = nullptr;
+    fault::FaultSite *timeoutSite_ = nullptr;
+    std::uint64_t retries_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t spikes_ = 0;
 };
 
 /** Build the payload for a read-request message. */

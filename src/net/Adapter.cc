@@ -18,6 +18,11 @@ Adapter::attach(Link &out, Link &in)
     out_ = &out;
     in_ = &in;
     in.setSink([this](const Arrival &arrival) { receive(arrival); });
+    if (fault::FaultPlan *plan = fault::globalPlan()) {
+        rel_ = std::make_unique<fault::ReliableChannel>(
+            sim_, name_, id_, plan->recovery(),
+            [this](Packet pkt) { out_->send(std::move(pkt)); });
+    }
 }
 
 void
@@ -50,7 +55,10 @@ Adapter::sendMessage(NodeId dst, std::uint64_t bytes,
         if (pkt.last)
             pkt.payload = payload;
         bytesOut_ += chunk;
-        out_->send(std::move(pkt));
+        if (rel_)
+            rel_->send(std::move(pkt));
+        else
+            out_->send(std::move(pkt));
     } while (remaining > 0);
     ++msgsOut_;
 }
@@ -62,6 +70,11 @@ Adapter::receive(const Arrival &arrival)
     // Endpoints drain their staging immediately (DMA into host
     // memory), so the credit is returned right away.
     in_->returnCredit();
+
+    // Recovery protocol first: control packets, corrupted packets and
+    // duplicates never reach reassembly (exactly-once delivery).
+    if (rel_ && rel_->onArrival(arrival))
+        return;
 
     const Packet &pkt = arrival.pkt;
     bytesIn_ += pkt.payloadBytes;

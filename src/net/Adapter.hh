@@ -14,10 +14,12 @@
 #define SAN_NET_ADAPTER_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "fault/Reliable.hh"
 #include "net/Link.hh"
 #include "net/Packet.hh"
 #include "sim/Simulation.hh"
@@ -77,6 +79,12 @@ class Adapter
     std::uint64_t messagesSent() const { return msgsOut_; }
     std::uint64_t messagesReceived() const { return msgsIn_; }
 
+    /**
+     * The recovery engine, armed iff a fault plan was installed when
+     * this adapter attached to the fabric; nullptr otherwise.
+     */
+    const fault::ReliableChannel *reliable() const { return rel_.get(); }
+
   private:
     void receive(const Arrival &arrival);
 
@@ -86,6 +94,7 @@ class Adapter
     AdapterParams params_;
     Link *out_ = nullptr;
     Link *in_ = nullptr;
+    std::unique_ptr<fault::ReliableChannel> rel_;
     sim::Channel<Message> recv_;
 
     struct Partial {

@@ -11,11 +11,14 @@
 #ifndef SAN_NET_LINK_HH
 #define SAN_NET_LINK_HH
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
 
+#include "fault/FaultPlan.hh"
 #include "net/Packet.hh"
 #include "obs/Metrics.hh"
 #include "sim/Simulation.hh"
@@ -40,7 +43,13 @@ class Link
         : sim_(sim), name_(std::move(name)), params_(params),
           psPerByte_(sim::bytesPerSec(params.bandwidthBytesPerSec)),
           credits_(params.credits)
-    {}
+    {
+        if (fault::FaultPlan *plan = fault::globalPlan()) {
+            plan_ = plan;
+            berSite_ = plan->site(fault::FaultKind::LinkBitError, name_);
+            creditSite_ = plan->site(fault::FaultKind::CreditLoss, name_);
+        }
+    }
 
     Link(const Link &) = delete;
     Link &operator=(const Link &) = delete;
@@ -63,6 +72,24 @@ class Link
     void
     returnCredit()
     {
+        // A credit return for a packet that was never charged (or
+        // charged twice) would silently inflate the pool past the
+        // receiver's real buffer capacity.
+        assert(credits_ < params_.credits &&
+               "Link::returnCredit: credit underflow (double return?)");
+        if (plan_ != nullptr && creditLost()) {
+            // The credit update flit was lost. Model the periodic
+            // link-level flow-control sync that rebuilds the count.
+            ++creditsLost_;
+            if (auto *tr = sim_.tracer())
+                tr->instant(name_, "credit-loss", sim_.now());
+            sim_.events().after(plan_->recovery().creditSyncDelay,
+                                [this] {
+                                    ++credits_;
+                                    pump();
+                                });
+            return;
+        }
         ++credits_;
         pump();
     }
@@ -73,6 +100,10 @@ class Link
     unsigned credits() const { return credits_; }
     std::uint64_t packetsSent() const { return packets_; }
     std::uint64_t bytesSent() const { return bytes_; }
+    /** Packets corrupted in flight by injected bit errors. */
+    std::uint64_t packetsCorrupted() const { return corrupted_; }
+    /** Credit-update flits lost to injected faults. */
+    std::uint64_t creditsLost() const { return creditsLost_; }
     /** Cumulative wire occupancy (serialization time) in ticks. */
     sim::Tick busyTicks() const { return busyTicks_; }
 
@@ -114,6 +145,16 @@ class Link
             ++packets_;
             bytes_ += pkt.wireBytes();
             busyTicks_ += ser;
+            if (plan_ != nullptr && bitErrorHits(pkt, now)) {
+                // Flip Packet::corrupt instead of any header field:
+                // routing stays deterministic (cut-through forwards
+                // the header before any CRC could run) and the
+                // consuming endpoint's checksum verification fails.
+                pkt.corrupt = true;
+                ++corrupted_;
+                if (auto *tr = sim_.tracer())
+                    tr->instant(name_, "bit-error", now);
+            }
             const sim::Tick first = start + params_.propagation;
             const sim::Tick end = first + ser;
             if (auto *tr = sim_.tracer())
@@ -132,6 +173,37 @@ class Link
         }
     }
 
+    /** One injected bit error hits @p pkt on this transmission? */
+    bool
+    bitErrorHits(const Packet &pkt, sim::Tick now)
+    {
+        if (berSite_ != nullptr) {
+            // Per-packet corruption probability: wire bits times the
+            // configured bit-error rate (linear approximation of
+            // 1-(1-ber)^bits; plain multiply keeps gcc and clang
+            // bit-identical).
+            const double p = std::min(
+                1.0, static_cast<double>(pkt.wireBytes()) * 8.0 *
+                         berSite_->rate());
+            if (berSite_->fire(p))
+                return true;
+        }
+        return plan_->eventPending(fault::FaultKind::LinkBitError) &&
+               plan_->eventDue(fault::FaultKind::LinkBitError, name_,
+                               now);
+    }
+
+    /** The credit flit being returned right now is lost? */
+    bool
+    creditLost()
+    {
+        if (creditSite_ != nullptr && creditSite_->fire())
+            return true;
+        return plan_->eventPending(fault::FaultKind::CreditLoss) &&
+               plan_->eventDue(fault::FaultKind::CreditLoss, name_,
+                               sim_.now());
+    }
+
     sim::Simulation &sim_;
     std::string name_;
     LinkParams params_;
@@ -143,6 +215,12 @@ class Link
     std::uint64_t packets_ = 0;
     std::uint64_t bytes_ = 0;
     sim::Tick busyTicks_ = 0;
+
+    fault::FaultPlan *plan_ = nullptr;    //!< null: no faults, no cost
+    fault::FaultSite *berSite_ = nullptr;
+    fault::FaultSite *creditSite_ = nullptr;
+    std::uint64_t corrupted_ = 0;
+    std::uint64_t creditsLost_ = 0;
 };
 
 } // namespace san::net

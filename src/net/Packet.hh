@@ -46,6 +46,14 @@ inline constexpr std::uint8_t maxHandlerId = 63;
  */
 using PayloadPtr = std::shared_ptr<const void>;
 
+/**
+ * Link-level packet classes of the recovery protocol (fault/). Data
+ * packets carry application traffic; Ack/Nack are header-only
+ * control packets of the reliable-delivery layer, emitted only when a
+ * fault plan is installed.
+ */
+enum class PacketKind : std::uint8_t { Data = 0, Ack = 1, Nack = 2 };
+
 /** One packet on the wire. */
 struct Packet {
     NodeId src = invalidNode;
@@ -63,12 +71,53 @@ struct Packet {
 
     PayloadPtr payload;          //!< set only on the last packet
 
+    /** @{ Reliable-delivery fields (see fault/Reliable.hh). All four
+     * stay at their defaults — and cost nothing — unless a fault plan
+     * is installed. */
+    PacketKind kind = PacketKind::Data;
+    std::uint32_t flowSeq = 0;   //!< per-(src,dst) sequence number
+    std::uint32_t checksum = 0;  //!< FNV-1a over the header fields
+    /** A link bit error hit this packet in flight. The CRC check at
+     * the consuming endpoint — not the cut-through switches, which
+     * forward the header before the payload has arrived — detects it
+     * and triggers retransmission. */
+    bool corrupt = false;
+    /** @} */
+
     std::uint32_t
     wireBytes() const
     {
         return payloadBytes + headerBytes;
     }
 };
+
+/**
+ * 32-bit FNV-1a over the packet's identifying header fields: the
+ * modelled equivalent of the invariant CRC an HCA/TCA verifies on
+ * arrival. Payload contents are not modelled, so in-flight corruption
+ * is carried by Packet::corrupt and folded in here.
+ */
+inline std::uint32_t
+packetChecksum(const Packet &pkt)
+{
+    std::uint32_t h = 0x811c9dc5u;
+    auto fold = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= static_cast<std::uint8_t>(v >> (i * 8));
+            h *= 0x01000193u;
+        }
+    };
+    fold(pkt.src);
+    fold(pkt.dst);
+    fold(pkt.payloadBytes);
+    fold(pkt.messageId);
+    fold(pkt.seq);
+    fold(pkt.tag);
+    fold(pkt.flowSeq);
+    fold(static_cast<std::uint64_t>(pkt.kind));
+    fold(pkt.corrupt ? 0x0ddba11u : 0u);
+    return h;
+}
 
 /** Delivery record: a packet plus its first/last byte times. */
 struct Arrival {
