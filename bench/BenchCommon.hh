@@ -14,6 +14,9 @@
  *                        (CSV, or JSONL when the file ends .jsonl)
  *   --metrics-interval <micros>  sampling interval in simulated
  *                        microseconds (default 100)
+ *   --perf               print per-mode wall clock and simulator
+ *                        throughput (events/sec) lines, consumed by
+ *                        tools/perf_baseline
  *
  * Fault-injection flags (see DESIGN.md "Fault model and recovery"):
  *   --fault-spec KIND:RATE[:SEED]  arm a rate-driven fault class
@@ -32,10 +35,14 @@
 #ifndef SAN_BENCH_BENCH_COMMON_HH
 #define SAN_BENCH_BENCH_COMMON_HH
 
+#include <array>
+#include <chrono>
+#include <ctime>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -60,6 +67,7 @@ namespace san::bench {
 struct BenchOptions {
     bool quick = false;
     bool fingerprint = false;
+    bool perf = false; //!< print per-mode wall clock and events/sec
     std::string statsJsonPath;
     std::string tracePath;
     std::string metricsCsvPath;
@@ -173,6 +181,8 @@ init(int argc, char **argv)
             opts.quick = true;
         } else if (std::strcmp(argv[i], "--fingerprint") == 0) {
             opts.fingerprint = true;
+        } else if (std::strcmp(argv[i], "--perf") == 0) {
+            opts.perf = true;
         } else if (std::strcmp(argv[i], "--stats-json") == 0) {
             if (i + 1 >= argc) {
                 std::cerr << "error: --stats-json requires a file\n";
@@ -381,6 +391,8 @@ runFigure(const std::string &overview_title,
 {
     const BenchOptions &opts = options();
     harness::ModeResults results;
+    std::array<double, apps::allModes.size()> wallMs{};
+    std::array<double, apps::allModes.size()> cpuMs{};
     for (std::size_t i = 0; i < apps::allModes.size(); ++i) {
         if (detail::traceState().tracer)
             detail::traceState().tracer->beginProcess(
@@ -391,7 +403,14 @@ runFigure(const std::string &overview_title,
         // Fresh plan per mode: one-shot events re-arm, rate streams
         // restart, so every mode faces the same fault schedule.
         installFaultPlan();
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::clock_t c0 = std::clock();
         results[i] = run_one(apps::allModes[i]);
+        cpuMs[i] = 1e3 * static_cast<double>(std::clock() - c0) /
+                   CLOCKS_PER_SEC;
+        wallMs[i] = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
     }
 
     if (print_overview)
@@ -409,6 +428,25 @@ runFigure(const std::string &overview_title,
             std::cout << "fingerprint[" << apps::modeName(r.mode)
                       << "]: 0x" << std::hex << r.fingerprint
                       << std::dec << "\n";
+    // events_per_sec divides by process CPU time, not wall time:
+    // these runs last milliseconds, so a noisy-neighbor descheduling
+    // would otherwise dominate the figure the perf gate compares.
+    if (opts.perf)
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &r = results[i];
+            const double secs = cpuMs[i] / 1e3;
+            const double eps =
+                secs > 0 ? static_cast<double>(r.eventsExecuted) / secs
+                         : 0.0;
+            std::cout << "perf[" << apps::modeName(r.mode)
+                      << "]: events=" << r.eventsExecuted
+                      << " wall_ms=" << std::fixed
+                      << std::setprecision(3) << wallMs[i]
+                      << " cpu_ms=" << cpuMs[i]
+                      << " events_per_sec=" << std::setprecision(0)
+                      << eps << std::defaultfloat
+                      << std::setprecision(6) << "\n";
+        }
     if (!opts.statsJsonPath.empty())
         detail::writeStatsJson(opts.statsJsonPath,
                                overview_title.empty() ? breakdown_title

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "io/IoRequest.hh"
 #include "io/StorageNode.hh"
@@ -213,15 +214,19 @@ ActiveSwitch::deliverLocal(const net::Arrival &arrival)
     }
     // The Dispatch unit decodes the header and consults the jump
     // table in parallel with the payload copy into a data buffer.
+    // One copy into the event slot; dispatch() takes it by value so
+    // a stalled arrival moves into the pending queue.
     if (auto *tr = sim_.tracer())
         tr->span(name(), "dispatch", sim_.now(),
                  sim_.now() + config_.dispatchLatency);
     sim_.events().after(config_.dispatchLatency,
-                        [this, arrival] { dispatch(arrival); });
+                        [this, a = arrival]() mutable {
+                            dispatch(std::move(a));
+                        });
 }
 
 void
-ActiveSwitch::dispatch(const net::Arrival &arrival)
+ActiveSwitch::dispatch(net::Arrival arrival)
 {
     // Arrivals must stay ordered within one handler instance's
     // stream, so if that instance already has packets waiting for
@@ -235,7 +240,7 @@ ActiveSwitch::dispatch(const net::Arrival &arrival)
             ++dispatchStalls_;
             if (auto *tr = sim_.tracer())
                 tr->instant(name(), "dispatch-stall", sim_.now());
-            pending_.push_back(arrival);
+            pending_.push_back(std::move(arrival));
             return;
         }
     }
@@ -243,7 +248,7 @@ ActiveSwitch::dispatch(const net::Arrival &arrival)
         ++dispatchStalls_;
         if (auto *tr = sim_.tracer())
             tr->instant(name(), "dispatch-stall", sim_.now());
-        pending_.push_back(arrival);
+        pending_.push_back(std::move(arrival));
     }
 }
 

@@ -240,7 +240,7 @@ class ActiveSwitch : public net::Switch
     using InstanceKey = std::pair<std::uint8_t, std::uint8_t>;
 
     /** Stage one packet into a buffer + ATB + instance stream. */
-    void dispatch(const net::Arrival &arrival);
+    void dispatch(net::Arrival arrival);
     bool tryStage(const net::Arrival &arrival);
     void retryPending();
     Instance &instanceFor(const net::Packet &pkt);

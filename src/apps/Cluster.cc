@@ -97,6 +97,7 @@ Cluster::collect(Mode mode)
     RunStats stats;
     stats.mode = mode;
     stats.execTime = end;
+    stats.eventsExecuted = sim_.events().executedEvents();
     for (auto &h : hosts_) {
         stats.hosts.push_back(h->cpu().breakdown(end));
         stats.hostIoBytes += h->ioTrafficBytes();

@@ -99,6 +99,10 @@ struct RunStats {
     Mode mode = Mode::Normal;
     sim::Tick execTime = 0;
 
+    /** Kernel events executed by this run (simulator throughput
+     * denominator for the perf harness; not part of the stats JSON). */
+    std::uint64_t eventsExecuted = 0;
+
     /** Per-host breakdowns ("n-HP" bars of the paper's figures). */
     std::vector<cpu::TimeBreakdown> hosts;
     /** Per-switch-CPU breakdowns ("a-SP" bars). */

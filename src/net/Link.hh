@@ -145,7 +145,12 @@ class Link
             ++packets_;
             bytes_ += pkt.wireBytes();
             busyTicks_ += ser;
-            if (plan_ != nullptr && bitErrorHits(pkt, now)) {
+            // Fault checks and trace instants happen at the actual
+            // transmission tick `start`, not the enqueue tick: under
+            // wire backlog the two differ, and a one-shot
+            // --fault-at TICK fault must hit the packet that is on
+            // the wire at TICK (with timestamps to match).
+            if (plan_ != nullptr && bitErrorHits(pkt, start)) {
                 // Flip Packet::corrupt instead of any header field:
                 // routing stays deterministic (cut-through forwards
                 // the header before any CRC could run) and the
@@ -153,7 +158,7 @@ class Link
                 pkt.corrupt = true;
                 ++corrupted_;
                 if (auto *tr = sim_.tracer())
-                    tr->instant(name_, "bit-error", now);
+                    tr->instant(name_, "bit-error", start);
             }
             const sim::Tick first = start + params_.propagation;
             const sim::Tick end = first + ser;
@@ -173,9 +178,14 @@ class Link
         }
     }
 
-    /** One injected bit error hits @p pkt on this transmission? */
+    /**
+     * One injected bit error hits @p pkt on this transmission?
+     * @p start is the tick the packet's first bit goes on the wire
+     * (>= now() under backlog) — one-shot fault events trigger
+     * against it, not against the enqueue time.
+     */
     bool
-    bitErrorHits(const Packet &pkt, sim::Tick now)
+    bitErrorHits(const Packet &pkt, sim::Tick start)
     {
         if (berSite_ != nullptr) {
             // Per-packet corruption probability: wire bits times the
@@ -190,7 +200,7 @@ class Link
         }
         return plan_->eventPending(fault::FaultKind::LinkBitError) &&
                plan_->eventDue(fault::FaultKind::LinkBitError, name_,
-                               now);
+                               start);
     }
 
     /** The credit flit being returned right now is lost? */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "sim/Log.hh"
 
@@ -66,20 +67,21 @@ Switch::receive(unsigned port, const Arrival &arrival)
     Link *in = ports_[port].in;
     // Route after the fixed routing latency; the credit goes back
     // when the packet leaves input staging for the output queue (or
-    // the local data buffers).
+    // the local data buffers). The arrival is copied into the event
+    // slot once and moved out on forward, not copied again.
     sim_.events().after(
         params_.routingLatency,
-        [this, in, arrival]() {
+        [this, in, a = arrival]() mutable {
             in->returnCredit();
-            if (arrival.pkt.dst == id_) {
+            if (a.pkt.dst == id_) {
                 ++local_;
-                deliverLocal(arrival);
+                deliverLocal(a);
                 return;
             }
             ++routed_;
-            const unsigned out_port = route(arrival.pkt.dst);
+            const unsigned out_port = route(a.pkt.dst);
             assert(ports_[out_port].out && "routing to unwired port");
-            ports_[out_port].out->send(arrival.pkt);
+            ports_[out_port].out->send(std::move(a.pkt));
         });
 }
 

@@ -4,16 +4,35 @@
  *
  * Events are (tick, callback) pairs ordered by tick, with insertion
  * order breaking ties so simulation is fully deterministic.
+ *
+ * The hot path is allocation-free in the steady state: callbacks are
+ * stored in small-buffer-optimized event slots (detail::SlotArena —
+ * captures up to 48 B inline, larger ones in pooled blocks recycled
+ * through free lists), and ordering lives in an explicit binary heap
+ * of plain 24-byte (tick, seq, slot) records over a std::vector. The
+ * previous design — std::function entries inside std::priority_queue,
+ * popped by moving out of the const top() through a const_cast — paid
+ * one heap allocation per scheduled event and was formally UB; both
+ * are gone.
+ *
+ * Determinism contract: events execute in strictly nondecreasing
+ * (tick, seq) order, where seq is the global schedule order. A
+ * callback scheduling new events mid-step sees them sequenced after
+ * every already-pending event at the same tick. This ordering is
+ * byte-identical to the pre-overhaul kernel, so run fingerprints and
+ * golden stats are unchanged.
  */
 
 #ifndef SAN_SIM_EVENT_QUEUE_HH
 #define SAN_SIM_EVENT_QUEUE_HH
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/EventSlot.hh"
 #include "sim/Types.hh"
 
 namespace san::sim {
@@ -22,7 +41,10 @@ namespace san::sim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Captures up to this size are stored inline in the event slot
+     * (no allocation); larger captures use the pooled overflow path. */
+    static constexpr std::size_t inlineCaptureBytes =
+        detail::SlotArena::inlineBytes;
 
     /**
      * Observes every executed event. The (tick, sequence-number) pair
@@ -38,6 +60,16 @@ class EventQueue
         virtual void onEvent(Tick when, std::uint64_t seq) = 0;
     };
 
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue()
+    {
+        for (const HeapEntry &e : heap_)
+            arena_.recycle(e.slot);
+    }
+
     /** Install (or clear, with nullptr) the execution observer. */
     void setObserver(Observer *obs) { observer_ = obs; }
     Observer *observer() const { return observer_; }
@@ -45,20 +77,23 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** Schedule @p cb at absolute time @p when (>= now). */
+    /** Schedule callable @p fn at absolute time @p when (>= now). */
+    template <typename F>
     void
-    schedule(Tick when, Callback cb)
+    schedule(Tick when, F &&fn)
     {
         if (when < now_)
             when = now_;
-        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+        const std::uint32_t slot = arena_.emplace(std::forward<F>(fn));
+        heapPush(HeapEntry{when, nextSeq_++, slot});
     }
 
-    /** Schedule @p cb @p delta ticks from now. */
+    /** Schedule @p fn @p delta ticks from now. */
+    template <typename F>
     void
-    after(Tick delta, Callback cb)
+    after(Tick delta, F &&fn)
     {
-        schedule(now_ + delta, std::move(cb));
+        schedule(now_ + delta, std::forward<F>(fn));
     }
 
     bool empty() const { return heap_.empty(); }
@@ -68,7 +103,7 @@ class EventQueue
     Tick
     nextEventTick() const
     {
-        return heap_.empty() ? maxTick : heap_.top().when;
+        return heap_.empty() ? maxTick : heap_.front().when;
     }
 
     /**
@@ -80,14 +115,15 @@ class EventQueue
     {
         if (heap_.empty())
             return false;
-        // Moving the callback out before pop keeps the queue
-        // consistent if the callback schedules new events.
-        Entry top = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
+        // Pop the heap record before invoking, so a callback that
+        // schedules new events sees a consistent queue. The slot
+        // itself is chunk-stable and recycled only after the call.
+        const HeapEntry top = heap_.front();
+        heapPop();
         now_ = top.when;
         if (observer_)
             observer_->onEvent(top.when, top.seq);
-        top.cb();
+        arena_.runAndRecycle(top.slot);
         return true;
     }
 
@@ -100,38 +136,98 @@ class EventQueue
     }
 
     /**
-     * Run events with tick <= @p limit; time ends clamped to the last
-     * executed event (or advances to @p limit if the queue drained).
+     * Run every event with tick <= @p limit, then advance time to
+     * @p limit — whether or not later events remain pending. The
+     * contract callers may rely on:
+     *
+     *  - on return, now() == max(now-at-entry, limit);
+     *  - every pending event is strictly later than @p limit;
+     *  - a limit already in the past (limit < now()) executes nothing
+     *    and leaves time unchanged;
+     *  - re-running at the same limit is idempotent.
+     *
+     * (Historically time only advanced to @p limit once the queue
+     * drained, so a caller sampling between windows saw now() stuck
+     * at the last executed event — see the runUntil contract tests.)
      */
     Tick
     runUntil(Tick limit)
     {
-        while (!heap_.empty() && heap_.top().when <= limit)
+        while (!heap_.empty() && heap_.front().when <= limit)
             step();
-        if (now_ < limit && heap_.empty())
+        if (now_ < limit)
             now_ = limit;
+        assert((heap_.empty() || heap_.front().when > limit) &&
+               "runUntil left an event at or before the limit");
         return now_;
     }
 
     /** Total number of events executed so far (for stats/benches). */
     std::uint64_t executedEvents() const { return nextSeq_ - heap_.size(); }
 
+    /** @{ Slot-allocator introspection (tests and micro-benches). */
+    std::uint64_t overflowAllocs() const { return arena_.overflowAllocs(); }
+    std::uint64_t overflowReuses() const { return arena_.overflowReuses(); }
+    std::size_t slotChunks() const { return arena_.chunkCount(); }
+    /** @} */
+
   private:
-    struct Entry {
+    /** Heap record: ordering data only; the callback lives in the
+     * arena, so sift operations move 24 trivially-copyable bytes. */
+    struct HeapEntry {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
 
         bool
-        operator>(const Entry &o) const
+        before(const HeapEntry &o) const
         {
             if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
+                return when < o.when;
+            return seq < o.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    void
+    heapPush(HeapEntry e)
+    {
+        heap_.push_back(e);
+        std::size_t i = heap_.size() - 1;
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!e.before(heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = e;
+    }
+
+    void
+    heapPop()
+    {
+        const HeapEntry last = heap_.back();
+        heap_.pop_back();
+        const std::size_t n = heap_.size();
+        if (n == 0)
+            return;
+        std::size_t i = 0;
+        for (;;) {
+            std::size_t kid = 2 * i + 1;
+            if (kid >= n)
+                break;
+            if (kid + 1 < n && heap_[kid + 1].before(heap_[kid]))
+                ++kid;
+            if (!heap_[kid].before(last))
+                break;
+            heap_[i] = heap_[kid];
+            i = kid;
+        }
+        heap_[i] = last;
+    }
+
+    std::vector<HeapEntry> heap_;
+    detail::SlotArena arena_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     Observer *observer_ = nullptr;

@@ -114,7 +114,9 @@ struct DelayAwaiter {
     void
     await_suspend(std::coroutine_handle<> h) const
     {
-        sim->events().after(ticks, [h] { h.resume(); });
+        static_assert(sizeof(Resume) <= EventQueue::inlineCaptureBytes,
+                      "coroutine resumption must stay allocation-free");
+        sim->events().after(ticks, Resume{h});
     }
 
     void await_resume() const noexcept {}

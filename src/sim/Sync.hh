@@ -108,7 +108,7 @@ class Channel
         waiters_.pop_front();
         w.awaiter->value = std::move(items_.front());
         items_.pop_front();
-        sim_.events().after(0, [h = w.handle] { h.resume(); });
+        sim_.events().after(0, detail::Resume{w.handle});
     }
 
     Simulation &sim_;
@@ -137,7 +137,7 @@ class Gate
             return;
         open_ = true;
         for (auto h : waiters_)
-            sim_.events().after(0, [h] { h.resume(); });
+            sim_.events().after(0, detail::Resume{h});
         waiters_.clear();
     }
 
@@ -186,7 +186,7 @@ class Semaphore
             --count_;
             auto h = waiters_.front();
             waiters_.pop_front();
-            sim_.events().after(0, [h] { h.resume(); });
+            sim_.events().after(0, detail::Resume{h});
         }
     }
 

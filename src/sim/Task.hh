@@ -39,6 +39,18 @@ namespace detail {
 struct DelayAwaiter;
 template <typename TaskT> struct TaskAwaiter;
 
+/**
+ * The kernel's most frequent event: resume a suspended coroutine.
+ * Every timed wakeup (Delay) and synchronization wakeup (Channel,
+ * Gate, Semaphore) schedules one of these; at 8 bytes it is
+ * guaranteed to use the event queue's inline capture storage, so a
+ * task switch never allocates.
+ */
+struct Resume {
+    std::coroutine_handle<> handle;
+    void operator()() const { handle.resume(); }
+};
+
 /** State and await_transforms shared by all task promises. */
 struct PromiseBase {
     /** Simulation this task runs on; set at spawn/await time. */

@@ -9,8 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "apps/Grep.hh"
 #include "fault/FaultPlan.hh"
+#include "net/Link.hh"
+#include "net/Packet.hh"
+#include "sim/Simulation.hh"
+#include "sim/Types.hh"
 
 namespace {
 
@@ -215,6 +221,51 @@ TEST(FaultDeterminism, NoneSpecArmsProtocolWithoutInjecting)
     EXPECT_EQ(armed.faults.flowAborts, 0u);
     // The protocol adds control traffic but must not change results.
     EXPECT_EQ(armed.checksum, bare.checksum);
+}
+
+TEST(FaultEvents, BackloggedLinkFiresOneShotAtTransmissionTick)
+{
+    // Regression test: Link::pump() drains its whole backlog inside a
+    // single event (all at the same now()), but each packet's
+    // transmission starts when the wire frees up. A one-shot
+    // --fault-at TICK bit error must be evaluated against that
+    // per-packet transmission tick — evaluated at the enqueue tick it
+    // would never fire (TICK is in the future when every check runs)
+    // and the fault would silently vanish.
+    PlanGuard guard;
+    fault::FaultEvent ev;
+    ev.at = sim::ns(1056); // 3rd packet: 2 x 528 ns serialization
+    ev.kind = FaultKind::LinkBitError;
+    ev.target = "l";
+    guard.plan.addEvent(ev);
+
+    sim::Simulation s;
+    net::LinkParams lp;
+    lp.bandwidthBytesPerSec = 1e9; // (512+16) B packet = 528 ns
+    lp.propagation = 0;
+    lp.credits = 8;
+    net::Link link(s, "l", lp); // plan must be installed before this
+    std::vector<net::Arrival> got;
+    link.setSink([&](const net::Arrival &a) { got.push_back(a); });
+    for (unsigned i = 0; i < 5; ++i) {
+        net::Packet p;
+        p.src = 0;
+        p.dst = 1;
+        p.payloadBytes = 512;
+        p.messageBytes = 512;
+        link.send(std::move(p)); // all enqueued at tick 0
+    }
+    s.run();
+
+    ASSERT_EQ(got.size(), 5u);
+    EXPECT_EQ(link.packetsCorrupted(), 1u);
+    EXPECT_EQ(guard.plan.injected(), 1u);
+    for (unsigned i = 0; i < 5; ++i) {
+        // Packet i's first bit goes out at i x 528 ns; exactly the one
+        // on the wire at ns(1056) is hit.
+        EXPECT_EQ(got[i].start, sim::ns(i * 528)) << "packet " << i;
+        EXPECT_EQ(got[i].pkt.corrupt, i == 2) << "packet " << i;
+    }
 }
 
 } // namespace

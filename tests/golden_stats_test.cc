@@ -15,7 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -109,6 +111,40 @@ TEST_P(GoldenStats, MatchesGoldenFile)
         << "stats diverged from " << path
         << "\nIf this change is intended, regenerate with "
            "SAN_UPDATE_GOLDEN=1 and commit the new golden files.";
+}
+
+TEST(GoldenFingerprint, FreshRunReproducesCommittedFingerprint)
+{
+    // The golden files embed each run's 64-bit fingerprint — a fold
+    // over every executed (tick, event) plus the end-of-run stats.
+    // Comparing a fresh RunStats fingerprint against the committed
+    // value directly (not via the full JSON diff) pins the event
+    // kernel's execution order to what was recorded before the
+    // explicit-heap/slot-arena overhaul: any reordering, dropped or
+    // duplicated event changes the fold.
+    const GoldenCase c{"mpeg", apps::Mode::Active};
+    if (std::getenv("SAN_UPDATE_GOLDEN") != nullptr)
+        GTEST_SKIP() << "goldens being regenerated";
+    std::ifstream in(goldenPathFor(c));
+    ASSERT_TRUE(in) << "missing golden file " << goldenPathFor(c);
+    std::uint64_t committed = 0;
+    for (std::string line; std::getline(in, line);) {
+        const auto pos = line.find("\"fingerprint\": ");
+        if (pos == std::string::npos)
+            continue;
+        committed = std::strtoull(
+            line.c_str() + pos + std::strlen("\"fingerprint\": "),
+            nullptr, 10);
+        break;
+    }
+    ASSERT_NE(committed, 0u) << "no fingerprint in the golden file";
+
+    apps::MpegParams params;
+    params.fileBytes = 256 * 1024;
+    const apps::RunStats fresh = runMpegFilter(c.mode, params);
+    EXPECT_EQ(fresh.fingerprint, committed)
+        << "the event kernel no longer reproduces the committed "
+           "event stream";
 }
 
 INSTANTIATE_TEST_SUITE_P(

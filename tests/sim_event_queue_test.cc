@@ -135,6 +135,95 @@ TEST(EventQueue, RunUntilRunsCallbackScheduledAtNow)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, MidStepSchedulingPreservesTickSeqOrder)
+{
+    // Regression test for the kernel overhaul: callbacks scheduled
+    // from INSIDE a running callback must interleave with already
+    // pending events in strict (tick, insertion-seq) order — the
+    // arena hands out recycled slots, but ordering comes from the
+    // heap's monotonically increasing sequence numbers, never from
+    // slot identity.
+    EventQueue q;
+    std::vector<int> order;
+    // Pre-scheduled events at ticks 10 and 20 (seq 0, 1).
+    q.schedule(ns(10), [&] {
+        order.push_back(1);
+        // Same-tick events from within the pass: run after every
+        // already pending tick-10 event, in scheduling order.
+        q.schedule(ns(10), [&] { order.push_back(3); });
+        q.schedule(ns(10), [&] { order.push_back(4); });
+        // A tick-20 event scheduled mid-pass lands AFTER the
+        // pre-scheduled tick-20 event (larger seq).
+        q.schedule(ns(20), [&] { order.push_back(6); });
+    });
+    q.schedule(ns(20), [&] { order.push_back(5); });
+    q.schedule(ns(10), [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(EventQueue, MidStepSchedulingOrderIsDeterministicUnderChurn)
+{
+    // Two identical runs with heavy mid-step scheduling (slot reuse,
+    // heap growth/shrink) must execute callbacks in the same order.
+    const auto drive = [](std::vector<int> &order) {
+        EventQueue q;
+        for (int i = 0; i < 16; ++i)
+            q.schedule(ns(i % 4), [&order, &q, i] {
+                order.push_back(i);
+                if (i % 3 == 0)
+                    q.after(ns(1), [&order, i] {
+                        order.push_back(100 + i);
+                    });
+                if (i % 5 == 0)
+                    q.schedule(q.now(), [&order, i] {
+                        order.push_back(200 + i);
+                    });
+            });
+        q.run();
+    };
+    std::vector<int> first, second;
+    drive(first);
+    drive(second);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first.size(), 16u + 6u + 4u);
+}
+
+TEST(EventQueue, RunUntilAdvancesToLimitPastPendingFutureEvents)
+{
+    // Contract: runUntil(limit) always leaves now() == limit when the
+    // next pending event is later — the caller (e.g. the interval
+    // sampler) may treat the whole window as elapsed.
+    EventQueue q;
+    int fired = 0;
+    q.schedule(ns(100), [&] { ++fired; });
+    q.runUntil(ns(40));
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.now(), ns(40));
+    EXPECT_EQ(q.nextEventTick(), ns(100));
+}
+
+TEST(EventQueue, RunUntilInThePastIsANoOp)
+{
+    // Contract: a limit at or before now() neither runs events nor
+    // rewinds the clock; calling twice with the same limit is
+    // idempotent.
+    EventQueue q;
+    int fired = 0;
+    q.schedule(ns(50), [&] { ++fired; });
+    q.runUntil(ns(50));
+    EXPECT_EQ(fired, 1);
+    q.schedule(ns(80), [&] { ++fired; });
+    q.runUntil(ns(20)); // in the past
+    EXPECT_EQ(q.now(), ns(50));
+    EXPECT_EQ(fired, 1);
+    q.runUntil(ns(50)); // idempotent at the current tick
+    EXPECT_EQ(q.now(), ns(50));
+    EXPECT_EQ(fired, 1);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
 TEST(EventQueue, ExecutedEventsCountsAcrossDrainedQueue)
 {
     EventQueue q;
