@@ -1,25 +1,42 @@
 /**
  * @file
- * Event-kernel micro-benchmark: the overhauled EventQueue (explicit
- * binary heap + small-buffer event slots, see sim/EventSlot.hh)
- * against the pre-overhaul design (std::function entries inside
- * std::priority_queue), on the capture sizes the simulator actually
- * schedules:
+ * Event-kernel micro-benchmark, two experiments in one binary.
  *
- *   resume16    16 B capture — coroutine resumption / channel wakeup
- *   packet48  48 B capture  — at the slot's inline boundary; the old
- *                             std::function heap-allocates here
- *   message96 96 B capture  — Packet-sized; both designs allocate,
- *                             the new kernel from a recycling pool
+ * 1. Slot-arena overhaul (PR 4): the kernel against the pre-overhaul
+ *    design (std::function entries inside std::priority_queue), on
+ *    the capture sizes the simulator actually schedules:
  *
- * Prints a JSON report on stdout (consumed by tools/perf_baseline)
- * and a human-readable table on stderr. With --min-speedup X the
- * process fails unless the headline (packet48) speedup reaches X,
- * which is the CI gate for "the overhaul actually pays".
+ *      resume16   16 B capture — coroutine resumption / channel wakeup
+ *      packet48   48 B capture — at the slot's inline boundary; the
+ *                                old std::function heap-allocates here
+ *      message96  96 B capture — Packet-sized; both designs allocate,
+ *                                the new kernel from a recycling pool
+ *
+ * 2. Ladder scheduler (PR 5): EventQueue (ladder) against
+ *    HeapEventQueue (the PR 4 binary heap) at pending depths 1k, 10k
+ *    and 100k, under three scheduling-horizon mixes:
+ *
+ *      short   1..1000 ns delays — link serialization, routing,
+ *              credit returns: the dominant simulator pattern the
+ *              ladder's O(1) buckets target
+ *      uniform 1 ns..100 us — spread across the whole ring, stressing
+ *              bucket adoption and width tuning
+ *      far     mostly short, 1/16 jumping +1 ms — adversarial for the
+ *              ladder: spill pushes, refills and window rebases
+ *
+ * Both experiments replay identical schedules through both kernels
+ * and cross-check a folded sink value, so a determinism divergence
+ * fails the bench. Prints a JSON report on stdout (consumed by
+ * tools/perf_baseline, schema san-micro-kernel-v2) and human-readable
+ * tables on stderr. --min-speedup X gates the PR 4 headline
+ * (packet48); --min-ladder-speedup X gates the PR 5 headline
+ * (short-horizon mix at 10k pending).
  *
  * Usage: micro_kernel [--events N] [--min-speedup X]
+ *                     [--min-ladder-speedup X]
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -171,6 +188,151 @@ struct Result {
     double speedup() const { return legacyEps > 0 ? kernelEps / legacyEps : 0; }
 };
 
+/** Scheduling-horizon mix of one depth-scaled workload. */
+enum class Mix { Short, Uniform, Far };
+
+constexpr const char *
+mixName(Mix m)
+{
+    switch (m) {
+      case Mix::Short:
+        return "short";
+      case Mix::Uniform:
+        return "uniform";
+      case Mix::Far:
+        return "far";
+    }
+    return "?";
+}
+
+/**
+ * Depth-scaled ladder-vs-heap load: @p pending self-rescheduling
+ * chains with a 16-byte capture (the dominant real capture size),
+ * delays drawn from one of the horizon mixes above. The heap and the
+ * ladder execute the identical schedule — any (tick, seq) ordering
+ * divergence desynchronizes the shared rng stream and trips the sink
+ * cross-check in compareDepth().
+ */
+template <typename Queue>
+struct DepthLoad {
+    Queue q;
+    Rng rng{0x2545f4914f6cdd1dull};
+    Mix mix;
+    std::uint64_t remaining = 0;
+    std::uint64_t sink = 0;
+
+    explicit DepthLoad(Mix m) : mix(m) {}
+
+    Tick
+    delay()
+    {
+        switch (mix) {
+          case Mix::Short: // 1..1000 ns
+            return ((rng.next() % 1000) + 1) * 1000;
+          case Mix::Uniform: // 1 ns..100 us
+            return ((rng.next() % 100'000) + 1) * 1000;
+          case Mix::Far: // short, with 1/16 jumping +1 ms
+            return ((rng.next() % 500) + 1) * 1000 +
+                   (rng.next() % 16 == 0 ? 1'000'000'000 : 0);
+        }
+        return 1;
+    }
+
+    struct Cb {
+        DepthLoad *load;
+        std::uint64_t pad;
+
+        void
+        operator()()
+        {
+            DepthLoad &l = *load;
+            l.sink += l.q.now() ^ pad;
+            if (l.remaining > 0) {
+                --l.remaining;
+                l.q.after(l.delay(), Cb{load, l.sink});
+            }
+        }
+    };
+
+    /** Events/sec of process CPU time over @p total events across
+     * @p pending concurrent chains (see Load::run on why CPU time). */
+    double
+    run(std::uint64_t total, std::uint64_t pending)
+    {
+        remaining = total > pending ? total - pending : 0;
+        const std::clock_t c0 = std::clock();
+        for (std::uint64_t i = 0; i < pending; ++i)
+            q.after(delay(), Cb{this, i});
+        q.run();
+        const double secs =
+            static_cast<double>(std::clock() - c0) / CLOCKS_PER_SEC;
+        const double events = static_cast<double>(q.executedEvents());
+        return secs > 0 ? events / secs : 0.0;
+    }
+};
+
+struct DepthResult {
+    std::string name;
+    std::uint64_t pending;
+    Mix mix;
+    double heapEps;
+    double ladderEps;
+    double speedup() const { return heapEps > 0 ? ladderEps / heapEps : 0; }
+};
+
+DepthResult
+compareDepth(std::uint64_t pending, Mix mix, std::uint64_t events)
+{
+    using san::sim::EventQueue;
+    using san::sim::HeapEventQueue;
+    // Size the run so deep workloads still cycle every chain a few
+    // times past the warm-up fill.
+    const std::uint64_t total = events > pending * 4 ? events
+                                                     : pending * 4;
+    DepthLoad<HeapEventQueue>(mix).run(total / 8, pending);
+    DepthLoad<EventQueue>(mix).run(total / 8, pending);
+    // Interleaved best-of-2 per kernel: a noise burst hitting one
+    // timed sample cannot swing the ratio the gate reads.
+    double heapEps = 0.0;
+    double ladderEps = 0.0;
+    for (int rep = 0; rep < 2; ++rep) {
+        DepthLoad<HeapEventQueue> heap(mix);
+        heapEps = std::max(heapEps, heap.run(total, pending));
+        DepthLoad<EventQueue> ladder(mix);
+        ladderEps = std::max(ladderEps, ladder.run(total, pending));
+        if (heap.sink != ladder.sink) {
+            std::fprintf(stderr,
+                         "FATAL: depth %llu/%s: heap and ladder "
+                         "diverged (sink %llu vs %llu)\n",
+                         static_cast<unsigned long long>(pending),
+                         mixName(mix),
+                         static_cast<unsigned long long>(heap.sink),
+                         static_cast<unsigned long long>(ladder.sink));
+            std::exit(1);
+        }
+        // Sanity: the adversarial mix must actually exercise the
+        // spill and refill paths the sanitizer job wants covered.
+        if (mix == Mix::Far) {
+            const auto &st = ladder.q.scheduler().stats();
+            if (st.spillPushes == 0 || st.refills == 0) {
+                std::fprintf(
+                    stderr,
+                    "FATAL: far mix never hit the spill/refill "
+                    "path (spills=%llu refills=%llu)\n",
+                    static_cast<unsigned long long>(st.spillPushes),
+                    static_cast<unsigned long long>(st.refills));
+                std::exit(1);
+            }
+        }
+    }
+    std::string name = mixName(mix);
+    name += "_";
+    name += pending >= 100'000 ? "100k" : pending >= 10'000 ? "10k"
+                                                            : "1k";
+    return DepthResult{std::move(name), pending, mix, heapEps,
+                       ladderEps};
+}
+
 template <unsigned Pad>
 Result
 compare(const char *name, std::uint64_t events, unsigned pending)
@@ -207,15 +369,20 @@ main(int argc, char **argv)
 {
     std::uint64_t events = 2'000'000;
     double minSpeedup = 0.0;
+    double minLadderSpeedup = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
             events = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--min-speedup") == 0 &&
                    i + 1 < argc) {
             minSpeedup = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--min-ladder-speedup") == 0 &&
+                   i + 1 < argc) {
+            minLadderSpeedup = std::strtod(argv[++i], nullptr);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--events N] [--min-speedup X]\n",
+                         "usage: %s [--events N] [--min-speedup X] "
+                         "[--min-ladder-speedup X]\n",
                          argv[0]);
             return 2;
         }
@@ -229,14 +396,34 @@ main(int argc, char **argv)
     };
     const double headline = results[1].speedup();
 
+    const Mix mixes[] = {Mix::Short, Mix::Uniform, Mix::Far};
+    const std::uint64_t depths[] = {1'024, 10'240, 102'400};
+    std::vector<DepthResult> depthResults;
+    for (const Mix mix : mixes)
+        for (const std::uint64_t depth : depths)
+            depthResults.push_back(compareDepth(depth, mix, events));
+    // The acceptance headline: short-horizon events at 10k pending,
+    // the depth the large figures actually carry.
+    double ladderHeadline = 0.0;
+    for (const DepthResult &r : depthResults)
+        if (r.mix == Mix::Short && r.pending == 10'240)
+            ladderHeadline = r.speedup();
+
     std::fprintf(stderr, "%-10s %8s %15s %15s %8s\n", "workload",
                  "capture", "legacy ev/s", "kernel ev/s", "speedup");
     for (const Result &r : results)
         std::fprintf(stderr, "%-10s %7zuB %15.0f %15.0f %7.2fx\n",
                      r.name, r.captureBytes, r.legacyEps, r.kernelEps,
                      r.speedup());
+    std::fprintf(stderr, "%-12s %8s %15s %15s %8s\n", "depth-load",
+                 "pending", "heap ev/s", "ladder ev/s", "speedup");
+    for (const DepthResult &r : depthResults)
+        std::fprintf(stderr, "%-12s %8llu %15.0f %15.0f %7.2fx\n",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.pending),
+                     r.heapEps, r.ladderEps, r.speedup());
 
-    std::printf("{\n  \"schema\": \"san-micro-kernel-v1\",\n"
+    std::printf("{\n  \"schema\": \"san-micro-kernel-v2\",\n"
                 "  \"events\": %llu,\n  \"workloads\": {\n",
                 static_cast<unsigned long long>(events));
     for (std::size_t i = 0; i < 3; ++i) {
@@ -247,13 +434,34 @@ main(int argc, char **argv)
                     r.name, r.captureBytes, r.legacyEps, r.kernelEps,
                     r.speedup(), i + 1 < 3 ? "," : "");
     }
-    std::printf("  },\n  \"headline_speedup\": %.4f\n}\n", headline);
+    std::printf("  },\n  \"headline_speedup\": %.4f,\n"
+                "  \"depth_workloads\": {\n",
+                headline);
+    for (std::size_t i = 0; i < depthResults.size(); ++i) {
+        const DepthResult &r = depthResults[i];
+        std::printf("    \"%s\": {\"pending\": %llu, \"mix\": \"%s\", "
+                    "\"heap_eps\": %.0f, \"ladder_eps\": %.0f, "
+                    "\"speedup\": %.4f}%s\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.pending),
+                    mixName(r.mix), r.heapEps, r.ladderEps,
+                    r.speedup(), i + 1 < depthResults.size() ? "," : "");
+    }
+    std::printf("  },\n  \"ladder_headline_speedup\": %.4f\n}\n",
+                ladderHeadline);
 
     if (minSpeedup > 0 && headline < minSpeedup) {
         std::fprintf(stderr,
                      "FAIL: headline speedup %.2fx below required "
                      "%.2fx\n",
                      headline, minSpeedup);
+        return 1;
+    }
+    if (minLadderSpeedup > 0 && ladderHeadline < minLadderSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL: ladder headline speedup %.2fx below "
+                     "required %.2fx\n",
+                     ladderHeadline, minLadderSpeedup);
         return 1;
     }
     return 0;

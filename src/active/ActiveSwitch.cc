@@ -200,7 +200,7 @@ ActiveSwitch::registerMetrics(obs::MetricsRegistry &m) const
 }
 
 void
-ActiveSwitch::deliverLocal(const net::Arrival &arrival)
+ActiveSwitch::deliverLocal(net::Arrival &&arrival)
 {
     // Recovery protocol first: it consumes ACK/NACK control packets
     // addressed to the switch, corrupted packets and duplicates, so a
@@ -214,13 +214,13 @@ ActiveSwitch::deliverLocal(const net::Arrival &arrival)
     }
     // The Dispatch unit decodes the header and consults the jump
     // table in parallel with the payload copy into a data buffer.
-    // One copy into the event slot; dispatch() takes it by value so
-    // a stalled arrival moves into the pending queue.
+    // The arrival moves into the event slot; dispatch() takes it by
+    // value so a stalled arrival moves on into the pending queue.
     if (auto *tr = sim_.tracer())
         tr->span(name(), "dispatch", sim_.now(),
                  sim_.now() + config_.dispatchLatency);
     sim_.events().after(config_.dispatchLatency,
-                        [this, a = arrival]() mutable {
+                        [this, a = std::move(arrival)]() mutable {
                             dispatch(std::move(a));
                         });
 }

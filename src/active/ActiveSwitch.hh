@@ -223,7 +223,7 @@ class ActiveSwitch : public net::Switch
     unsigned bufferQuota() const;
 
   protected:
-    void deliverLocal(const net::Arrival &arrival) override;
+    void deliverLocal(net::Arrival &&arrival) override;
 
   private:
     friend class HandlerContext;

@@ -50,6 +50,9 @@ Cluster::Cluster(const ClusterParams &params)
     // and runs pay nothing.
     if (obs::IntervalSampler *sampler = obs::globalSampler()) {
         sampler->registry().clear();
+        // Kernel first: queue depth / horizon / ladder occupancy
+        // columns lead every timeline.
+        obs::registerKernelGauges(sampler->registry(), sim_.events());
         for (auto &h : hosts_)
             h->registerMetrics(sampler->registry());
         sw_->registerMetrics(sampler->registry());

@@ -1,6 +1,7 @@
 #include "net/Adapter.hh"
 
 #include <cassert>
+#include <utility>
 
 namespace san::net {
 
@@ -17,7 +18,8 @@ Adapter::attach(Link &out, Link &in)
 {
     out_ = &out;
     in_ = &in;
-    in.setSink([this](const Arrival &arrival) { receive(arrival); });
+    in.setSink(
+        [this](Arrival &&arrival) { receive(std::move(arrival)); });
     if (fault::FaultPlan *plan = fault::globalPlan()) {
         rel_ = std::make_unique<fault::ReliableChannel>(
             sim_, name_, id_, plan->recovery(),
@@ -64,7 +66,7 @@ Adapter::sendMessage(NodeId dst, std::uint64_t bytes,
 }
 
 void
-Adapter::receive(const Arrival &arrival)
+Adapter::receive(Arrival &&arrival)
 {
     assert(in_);
     // Endpoints drain their staging immediately (DMA into host
@@ -76,7 +78,7 @@ Adapter::receive(const Arrival &arrival)
     if (rel_ && rel_->onArrival(arrival))
         return;
 
-    const Packet &pkt = arrival.pkt;
+    Packet &pkt = arrival.pkt;
     bytesIn_ += pkt.payloadBytes;
 
     auto &part = partial_[pkt.messageId];
@@ -92,7 +94,7 @@ Adapter::receive(const Arrival &arrival)
     part.received += pkt.payloadBytes;
     if (pkt.last) {
         part.msg.completedAt = arrival.end;
-        part.msg.payload = pkt.payload;
+        part.msg.payload = std::move(pkt.payload);
         Message done = std::move(part.msg);
         partial_.erase(pkt.messageId);
         ++msgsIn_;

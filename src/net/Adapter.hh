@@ -86,7 +86,7 @@ class Adapter
     const fault::ReliableChannel *reliable() const { return rel_.get(); }
 
   private:
-    void receive(const Arrival &arrival);
+    void receive(Arrival &&arrival);
 
     sim::Simulation &sim_;
     std::string name_;

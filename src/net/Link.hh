@@ -37,7 +37,13 @@ struct LinkParams {
 class Link
 {
   public:
-    using Sink = std::function<void(const Arrival &)>;
+    /**
+     * Receives each delivered packet. The arrival is handed over as
+     * an rvalue so receivers forward or stage the ~100-byte Packet
+     * (and its payload refcount) with a move instead of a copy;
+     * read-only sinks may still bind a `const Arrival &` parameter.
+     */
+    using Sink = std::function<void(Arrival &&)>;
 
     Link(sim::Simulation &sim, std::string name, const LinkParams &params)
         : sim_(sim), name_(std::move(name)), params_(params),
@@ -116,8 +122,11 @@ class Link
 
     /**
      * Register this link's timeline gauges: bytes per interval, wire
-     * utilization (serialization time / elapsed), and send-queue
-     * depth, all named after the link.
+     * utilization (serialization time / elapsed), send-queue depth,
+     * and credits remaining, all named after the link. The credits
+     * gauge makes credit-starved backlogs diagnosable: a link with
+     * .queued > 0 and .credits == 0 is blocked on the receiver, not
+     * on the wire.
      */
     void
     registerMetrics(obs::MetricsRegistry &m) const
@@ -128,6 +137,8 @@ class Link
               [this] { return static_cast<double>(busyTicks_); });
         m.add(name_ + ".queued", obs::GaugeKind::Gauge,
               [this] { return static_cast<double>(queue_.size()); });
+        m.add(name_ + ".credits", obs::GaugeKind::Gauge,
+              [this] { return static_cast<double>(credits_); });
     }
 
   private:

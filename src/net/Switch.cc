@@ -20,8 +20,8 @@ Switch::attachPort(unsigned port, Link &out, Link &in)
     assert(port < ports_.size());
     ports_[port].out = &out;
     ports_[port].in = &in;
-    in.setSink([this, port](const Arrival &arrival) {
-        receive(port, arrival);
+    in.setSink([this, port](Arrival &&arrival) {
+        receive(port, std::move(arrival));
     });
 }
 
@@ -62,20 +62,20 @@ Switch::inject(Packet pkt)
 }
 
 void
-Switch::receive(unsigned port, const Arrival &arrival)
+Switch::receive(unsigned port, Arrival &&arrival)
 {
     Link *in = ports_[port].in;
     // Route after the fixed routing latency; the credit goes back
     // when the packet leaves input staging for the output queue (or
-    // the local data buffers). The arrival is copied into the event
-    // slot once and moved out on forward, not copied again.
+    // the local data buffers). The arrival is moved into the event
+    // slot and moved out on forward, never copied.
     sim_.events().after(
         params_.routingLatency,
-        [this, in, a = arrival]() mutable {
+        [this, in, a = std::move(arrival)]() mutable {
             in->returnCredit();
             if (a.pkt.dst == id_) {
                 ++local_;
-                deliverLocal(a);
+                deliverLocal(std::move(a));
                 return;
             }
             ++routed_;
@@ -86,7 +86,7 @@ Switch::receive(unsigned port, const Arrival &arrival)
 }
 
 void
-Switch::deliverLocal(const Arrival &arrival)
+Switch::deliverLocal(Arrival &&arrival)
 {
     sim::logAt(sim::LogLevel::Warn, name_, sim_.now(),
                "dropping local packet from node ", arrival.pkt.src,

@@ -72,14 +72,16 @@ class Switch
     /**
      * A packet addressed to this switch arrived (already past the
      * routing stage). The base switch has no consumer: it counts and
-     * drops, which keeps management traffic harmless.
+     * drops, which keeps management traffic harmless. The arrival is
+     * handed over by value so the active switch can move it into its
+     * dispatch pipeline without copying the packet.
      */
-    virtual void deliverLocal(const Arrival &arrival);
+    virtual void deliverLocal(Arrival &&arrival);
 
     sim::Simulation &sim_;
 
   private:
-    void receive(unsigned port, const Arrival &arrival);
+    void receive(unsigned port, Arrival &&arrival);
 
     std::string name_;
     NodeId id_;

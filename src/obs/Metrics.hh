@@ -79,6 +79,24 @@ class MetricsRegistry
     std::vector<Entry> entries_;
 };
 
+/**
+ * Register the event-kernel's own gauges on @p m:
+ *
+ *   sim.pending            pending-event depth (queue size)
+ *   sim.horizon            distance from now to the next event, in
+ *                          ticks (0 when the queue is empty)
+ *   sim.ladder.drain       events in the ladder's current drain heap
+ *   sim.ladder.bucketed    events parked in ring buckets (O(1) tier)
+ *   sim.ladder.spill       far-future events in the spill heap
+ *   sim.ladder.width_ps    current auto-tuned bucket width
+ *
+ * Makes queue-depth claims and the ladder's width tuning visible in
+ * --metrics-csv timelines. Pull-based like every other gauge: no
+ * events added, fingerprints unchanged.
+ */
+void registerKernelGauges(MetricsRegistry &m,
+                          const sim::EventQueue &events);
+
 /** Output flavour of the time series. */
 enum class MetricsFormat { Csv, Jsonl };
 

@@ -21,8 +21,9 @@
  *    invalidate the slot being executed.
  *
  * The arena stores and runs callbacks; event *ordering* is the
- * EventQueue's job (an explicit binary heap of plain (tick, seq,
- * slot) records — see EventQueue.hh).
+ * EventQueue's job (plain (tick, seq, slot) records managed by a
+ * scheduler policy — the ladder queue in production, a binary heap
+ * as the measurable baseline — see EventQueue.hh).
  */
 
 #ifndef SAN_SIM_EVENT_SLOT_HH

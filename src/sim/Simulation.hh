@@ -108,7 +108,10 @@ struct DelayAwaiter {
     Tick ticks;
 
     // Even zero-tick delays go through the event queue so that
-    // resumption order is deterministic and stacks stay shallow.
+    // resumption order is deterministic and stacks stay shallow —
+    // but via postNow, so they stay out of the ladder scheduler's
+    // bucket-width tuning statistics (a zero horizon says nothing
+    // about where timed events land).
     bool await_ready() const noexcept { return false; }
 
     void
@@ -116,7 +119,10 @@ struct DelayAwaiter {
     {
         static_assert(sizeof(Resume) <= EventQueue::inlineCaptureBytes,
                       "coroutine resumption must stay allocation-free");
-        sim->events().after(ticks, Resume{h});
+        if (ticks == 0)
+            sim->events().postNow(Resume{h});
+        else
+            sim->events().after(ticks, Resume{h});
     }
 
     void await_resume() const noexcept {}

@@ -3,8 +3,11 @@
  * Inter-task synchronization: channels, gates and semaphores.
  *
  * All wakeups are funnelled through the event queue (at the current
- * tick) rather than resuming inline, which keeps resumption order
- * deterministic and call stacks shallow.
+ * tick, via EventQueue::postNow) rather than resuming inline, which
+ * keeps resumption order deterministic and call stacks shallow.
+ * postNow also keeps these zero-delay wakeups out of the ladder
+ * scheduler's bucket-width tuning statistics, which only timed
+ * events should feed.
  */
 
 #ifndef SAN_SIM_SYNC_HH
@@ -108,7 +111,7 @@ class Channel
         waiters_.pop_front();
         w.awaiter->value = std::move(items_.front());
         items_.pop_front();
-        sim_.events().after(0, detail::Resume{w.handle});
+        sim_.events().postNow(detail::Resume{w.handle});
     }
 
     Simulation &sim_;
@@ -137,7 +140,7 @@ class Gate
             return;
         open_ = true;
         for (auto h : waiters_)
-            sim_.events().after(0, detail::Resume{h});
+            sim_.events().postNow(detail::Resume{h});
         waiters_.clear();
     }
 
@@ -186,7 +189,7 @@ class Semaphore
             --count_;
             auto h = waiters_.front();
             waiters_.pop_front();
-            sim_.events().after(0, detail::Resume{h});
+            sim_.events().postNow(detail::Resume{h});
         }
     }
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/EventQueue.hh"
@@ -267,6 +268,188 @@ TEST_P(EventQueueProperty, RandomLoadsExecuteSorted)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
                          ::testing::Values(1, 2, 3, 42, 0xdeadbeef));
+
+// --- Ladder-scheduler edge cases -----------------------------------
+//
+// EventQueue is BasicEventQueue<LadderScheduler>; these tests pin the
+// window mechanics (bucket spans, spill/refill, rebases) against the
+// public determinism contract. The bucket width starts at
+// scheduler().bucketWidth() and cannot retune mid-test (retunes need
+// 64 horizon samples and an empty window).
+
+TEST(LadderEventQueue, TierOccupancyPartitionsPendingEvents)
+{
+    EventQueue q;
+    const Tick width = q.scheduler().bucketWidth();
+    const Tick span =
+        width * san::sim::detail::LadderScheduler::bucketCount;
+    q.schedule(width / 2, [] {});  // current span -> drain heap
+    q.schedule(width * 3, [] {});  // in-window -> ring bucket
+    q.schedule(span * 4, [] {});   // beyond window -> spill heap
+    const auto &lad = q.scheduler();
+    EXPECT_EQ(lad.drainEvents(), 1u);
+    EXPECT_EQ(lad.bucketedEvents(), 1u);
+    EXPECT_EQ(lad.spillEvents(), 1u);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.nextEventTick(), width / 2);
+    q.run();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), span * 4);
+    // Three pending events reach the spilled tail via the small-queue
+    // fallback swap, not a window rebase.
+    EXPECT_GE(q.scheduler().stats().smallEnters, 1u);
+}
+
+TEST(LadderEventQueue, MidStepScheduleIntoDrainingBucketSpan)
+{
+    // A callback running deep inside a later bucket schedules more
+    // events into the same (currently-draining) span: they must land
+    // in the drain heap and run before anything in later buckets,
+    // in (tick, seq) order.
+    EventQueue q;
+    std::vector<int> order;
+    const Tick width = q.scheduler().bucketWidth();
+    const Tick t0 = 3 * width + 100;
+    q.schedule(t0, [&] {
+        order.push_back(1);
+        q.schedule(t0 + 2, [&] { order.push_back(3); });
+        q.schedule(t0 + 1, [&] { order.push_back(2); });
+        q.schedule(t0 + width, [&] { order.push_back(5); }); // next bucket
+    });
+    q.schedule(t0 + 3, [&] { order.push_back(4); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(LadderEventQueue, PastSchedulingClampsAfterWindowAdvance)
+{
+    // The clamp must hold even once the window has rebased far from
+    // tick 0: a "past" schedule from a far-future callback lands in
+    // the drain heap at now(), not in some dead bucket.
+    EventQueue q;
+    const Tick width = q.scheduler().bucketWidth();
+    const Tick far = width * 5000; // beyond the initial window
+    Tick seen = maxTick;
+    q.schedule(far, [&] {
+        q.schedule(ns(1), [&] { seen = q.now(); }); // deep past
+    });
+    q.run();
+    EXPECT_EQ(seen, far);
+}
+
+TEST(LadderEventQueue, RunUntilLandsInsideBucketSpan)
+{
+    // runUntil with a limit strictly inside a bucket's span must
+    // split that bucket: events at or before the limit execute,
+    // later same-bucket events stay pending.
+    EventQueue q;
+    int fired = 0;
+    const Tick width = q.scheduler().bucketWidth();
+    const Tick base = 2 * width;
+    q.schedule(base + 10, [&] { ++fired; });
+    q.schedule(base + 30, [&] { ++fired; });
+    q.runUntil(base + 20);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), base + 20);
+    EXPECT_EQ(q.nextEventTick(), base + 30);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(LadderEventQueue, FarFutureSpillRefillsInOrder)
+{
+    // Events far beyond the window spill into a heap and come back
+    // in-window as the ladder rebases over them; execution order must
+    // stay globally sorted regardless of which tier each event
+    // visited.
+    EventQueue q;
+    std::vector<Tick> fired;
+    const Tick width = q.scheduler().bucketWidth();
+    const Tick span =
+        width * san::sim::detail::LadderScheduler::bucketCount;
+    for (int i = 9; i >= 0; --i) // descending insert order
+        q.schedule(span * static_cast<Tick>(i + 2) + static_cast<Tick>(i),
+                   [&] { fired.push_back(q.now()); });
+    q.schedule(10, [&] { fired.push_back(q.now()); });
+    EXPECT_EQ(q.scheduler().spillEvents(), 10u);
+    q.run();
+    ASSERT_EQ(fired.size(), 11u);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LT(fired[i - 1], fired[i]);
+    // A population this small reaches the spilled events through the
+    // small-queue fallback (one swap), not a window rebase.
+    const auto &st = q.scheduler().stats();
+    EXPECT_GE(st.smallEnters, 1u);
+    EXPECT_GE(st.spillPushes, 10u);
+}
+
+TEST(LadderEventQueue, EventsAtMaxTickExecuteInSeqOrder)
+{
+    // maxTick events can never be covered by a (saturated) window;
+    // the rebase fallback must still feed them to the drain heap one
+    // by one, in sequence order, without looping.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(maxTick, [&] { order.push_back(1); });
+    q.schedule(maxTick, [&] { order.push_back(2); });
+    q.schedule(ns(5), [&] { order.push_back(0); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.now(), maxTick);
+}
+
+TEST(LadderEventQueue, PostNowRunsAtCurrentTickAfterPendingPeers)
+{
+    // postNow() takes the next sequence number, exactly like
+    // after(0, ...): already-pending events at the same tick run
+    // first.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(ns(10), [&] {
+        order.push_back(1);
+        q.postNow([&] { order.push_back(3); });
+    });
+    q.schedule(ns(10), [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), ns(10));
+}
+
+TEST(LadderEventQueue, SmallQueueFallbackEntersAndExits)
+{
+    // A tiny population degenerates to a plain binary heap once the
+    // ring drains (the paper figures run at 1-20 pending events);
+    // growth past the exit threshold re-partitions into the tiers.
+    // The mode switches must be invisible to execution order.
+    using Ladder = san::sim::detail::LadderScheduler;
+    EventQueue q;
+    const Tick width = q.scheduler().bucketWidth();
+    q.schedule(width * 3, [] {});                 // ring bucket
+    q.schedule(width * Ladder::bucketCount * 4, [] {}); // spill
+    q.run();
+    EXPECT_GE(q.scheduler().stats().smallEnters, 1u);
+    EXPECT_EQ(q.scheduler().stats().smallExits, 0u);
+
+    // Still in small mode: everything lands in the drain (side) heap
+    // regardless of horizon, until the population crosses smallExit.
+    std::vector<Tick> fired;
+    const std::size_t n = Ladder::smallExit + 40;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Tick when = q.now() + 1 + ((i * 7919) % 1000) * width;
+        q.schedule(when, [&fired, &q] { fired.push_back(q.now()); });
+        if (q.size() <= Ladder::smallExit)
+            EXPECT_EQ(q.scheduler().drainEvents(), q.size());
+    }
+    EXPECT_GE(q.scheduler().stats().smallExits, 1u);
+    // Re-partitioned: the tiers hold the population again.
+    EXPECT_EQ(q.scheduler().drainEvents() +
+                  q.scheduler().bucketedEvents() +
+                  q.scheduler().spillEvents(),
+              q.size());
+    q.run();
+    EXPECT_EQ(fired.size(), n);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
 
 TEST(Types, UnitConversions)
 {
