@@ -184,6 +184,10 @@ ActiveSwitch::registerHandler(std::uint8_t handler_id, std::string name,
 void
 ActiveSwitch::registerMetrics(obs::MetricsRegistry &m) const
 {
+    // Transit-path gauges first: the active hardware rides on top of
+    // whatever queueing policy the crossbar runs (non-default
+    // policies only; see Switch::registerMetrics).
+    net::Switch::registerMetrics(m);
     const std::string &n = name();
     m.add(n + ".dispatchQueue", obs::GaugeKind::Gauge,
           [this] { return static_cast<double>(pending_.size()); });

@@ -215,7 +215,11 @@ class ActiveSwitch : public net::Switch
      * Register the active hardware's timeline under the switch name:
      * dispatch-queue depth, chunks staged and dispatch stalls per
      * interval, buffer-pool occupancy, and per-CPU busy / stall /
-     * idle plus ATB state.
+     * idle plus ATB state. Chains the base switch's transit-path
+     * (queueing policy) gauges in front: the active hardware composes
+     * with any crossbar policy — handler replies and retransmits
+     * injected by the Send unit contend through it like transit
+     * traffic.
      */
     void registerMetrics(obs::MetricsRegistry &m) const;
 

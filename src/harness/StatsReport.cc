@@ -125,6 +125,22 @@ dumpClusterStats(std::ostream &os, apps::Cluster &cluster)
     if (sw.droppedPackets() != 0)
         os << sw.name() << ".droppedPackets " << sw.droppedPackets()
            << '\n';
+    // Queueing-policy counters appear only for non-default policies:
+    // the stock central output queue keeps seed-golden reports
+    // byte-identical.
+    if (!sw.policy().isPassthrough()) {
+        const auto &pc = sw.policy().counters();
+        const std::string prefix = sw.name() + ".policy";
+        os << prefix << ".name " << sw.policy().name() << '\n'
+           << prefix << ".admitted " << pc.admitted << '\n'
+           << prefix << ".forwarded " << pc.forwarded << '\n'
+           << prefix << ".holBlocked " << pc.holBlocked << '\n'
+           << prefix << ".grants " << pc.grants << '\n'
+           << prefix << ".arbRounds " << pc.arbRounds << '\n'
+           << prefix << ".peakOccupancy " << pc.peakOccupancy << '\n'
+           << prefix << ".maxGrantWaitRounds "
+           << sw.policy().maxGrantWaitRounds() << '\n';
+    }
     os << sw.name() << ".buffers.allocations "
        << sw.buffers().allocations() << '\n'
        << sw.name() << ".buffers.peakInUse " << sw.buffers().peakInUse()
@@ -265,6 +281,22 @@ dumpClusterStatsJson(obs::JsonWriter &json, apps::Cluster &cluster)
     // stay byte-identical to the seed goldens.
     if (sw.droppedPackets() != 0)
         json.kv("droppedPackets", sw.droppedPackets());
+    // Object only present under non-default queueing policies so the
+    // seed goldens stay byte-identical.
+    if (!sw.policy().isPassthrough()) {
+        const auto &pc = sw.policy().counters();
+        json.key("policy").beginObject();
+        json.kv("name", sw.policy().name());
+        json.kv("admitted", pc.admitted);
+        json.kv("forwarded", pc.forwarded);
+        json.kv("holBlocked", pc.holBlocked);
+        json.kv("grants", pc.grants);
+        json.kv("arbRounds", pc.arbRounds);
+        json.kv("peakOccupancy", pc.peakOccupancy);
+        json.kv("maxGrantWaitRounds",
+                sw.policy().maxGrantWaitRounds());
+        json.endObject();
+    }
     json.key("buffers").beginObject();
     json.kv("allocations", sw.buffers().allocations());
     json.kv("peakInUse", sw.buffers().peakInUse());

@@ -63,6 +63,22 @@ class Link
     /** Attach the receiving component. Must be set before traffic. */
     void setSink(Sink sink) { sink_ = std::move(sink); }
 
+    /**
+     * Notify @p fn every time a transmit credit comes back to this
+     * link's sender. Paced switch policies (VOQ, crosspoint, bounded
+     * central memory) install this on their output links: a grant
+     * loop that stalled because the downstream hop withheld credits
+     * resumes on the returned credit instead of polling. Unset (the
+     * default, and the passthrough policy's state) it costs one
+     * branch per credit return, so default-policy runs schedule
+     * exactly the same events as before the policy layer existed.
+     */
+    void
+    setCreditObserver(std::function<void()> fn)
+    {
+        creditObserver_ = std::move(fn);
+    }
+
     /** Queue a packet for transmission. Never blocks the caller. */
     void
     send(Packet pkt)
@@ -93,11 +109,15 @@ class Link
                                 [this] {
                                     ++credits_;
                                     pump();
+                                    if (creditObserver_)
+                                        creditObserver_();
                                 });
             return;
         }
         ++credits_;
         pump();
+        if (creditObserver_)
+            creditObserver_();
     }
 
     const std::string &name() const { return name_; }
@@ -230,6 +250,7 @@ class Link
     LinkParams params_;
     sim::PsPerByte psPerByte_;
     Sink sink_;
+    std::function<void()> creditObserver_; //!< sender-side wakeup
     std::deque<Packet> queue_;
     unsigned credits_;
     sim::Tick wireFree_ = 0;

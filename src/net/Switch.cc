@@ -2,33 +2,86 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
 #include "sim/Log.hh"
 
 namespace san::net {
 
+namespace {
+
+/** The stock configuration the SAN_FORCE_SWITCH_POLICY override may
+ * replace. Explicitly configured policies always win: a test that
+ * asks for a bounded FIFO keeps it even under a forced-VOQ matrix. */
+bool
+isStockPolicy(const SwitchPolicyConfig &cfg)
+{
+    return cfg.kind == SwitchPolicyKind::CentralOutput &&
+           cfg.sharedCapacityCells == 0;
+}
+
+SwitchPolicyConfig
+resolvePolicy(const SwitchPolicyConfig &cfg, const std::string &name)
+{
+    if (!isStockPolicy(cfg))
+        return cfg;
+#ifdef SAN_FORCE_SWITCH_POLICY
+    // Build-time mirror of the env override (mirrors how
+    // -DSAN_FORCE_HEAP_KERNEL pins the event kernel).
+    if (auto forced = parsePolicySpec(SAN_FORCE_SWITCH_POLICY))
+        return *forced;
+#endif
+    if (const char *env = std::getenv("SAN_FORCE_SWITCH_POLICY")) {
+        if (auto forced = parsePolicySpec(env))
+            return *forced;
+        sim::logAt(sim::LogLevel::Warn, name, 0,
+                   "ignoring unparseable SAN_FORCE_SWITCH_POLICY: ",
+                   env);
+    }
+    return cfg;
+}
+
+} // namespace
+
 Switch::Switch(sim::Simulation &sim, std::string name, NodeId id,
                const SwitchParams &params)
     : sim_(sim), name_(std::move(name)), id_(id), params_(params),
       ports_(params.ports)
-{}
+{
+    params_.policy = resolvePolicy(params.policy, name_);
+    policy_ = makeQueueingPolicy(*this, params_.policy);
+}
 
 void
 Switch::attachPort(unsigned port, Link &out, Link &in)
 {
-    assert(port < ports_.size());
+    if (port >= ports_.size())
+        throw std::out_of_range(name_ + ": attachPort(" +
+                                std::to_string(port) + ") beyond " +
+                                std::to_string(ports_.size()) +
+                                " ports");
+    if (ports_[port].out != nullptr || ports_[port].in != nullptr)
+        throw std::logic_error(name_ + ": port " +
+                               std::to_string(port) +
+                               " is already wired");
     ports_[port].out = &out;
     ports_[port].in = &in;
     in.setSink([this, port](Arrival &&arrival) {
         receive(port, std::move(arrival));
     });
+    policy_->portAttached(port);
 }
 
 void
 Switch::setRoute(NodeId dst, unsigned port)
 {
-    assert(port < ports_.size());
+    if (port >= ports_.size())
+        throw std::out_of_range(name_ + ": setRoute to port " +
+                                std::to_string(port) + " beyond " +
+                                std::to_string(ports_.size()) +
+                                " ports");
     auto it = std::find(routeDst_.begin(), routeDst_.end(), dst);
     if (it != routeDst_.end()) {
         routePort_[it - routeDst_.begin()] = port;
@@ -57,32 +110,41 @@ void
 Switch::inject(Packet pkt)
 {
     const unsigned port = route(pkt.dst);
-    assert(ports_[port].out && "injecting on unwired port");
-    ports_[port].out->send(std::move(pkt));
+    // Local injections enter the policy on the virtual local input
+    // port: the Send unit contends for outputs like any input would.
+    const sim::Tick now = sim_.now();
+    policy_->ingress(params_.ports, port,
+                     Arrival{std::move(pkt), now, now});
 }
 
 void
 Switch::receive(unsigned port, Arrival &&arrival)
 {
-    Link *in = ports_[port].in;
-    // Route after the fixed routing latency; the credit goes back
-    // when the packet leaves input staging for the output queue (or
-    // the local data buffers). The arrival is moved into the event
-    // slot and moved out on forward, never copied.
+    // Route after the fixed routing latency. Local deliveries drain
+    // input staging right here (credit back, then dispatch); transit
+    // cells are handed to the queueing policy, which owns the
+    // credit-return point from there on. The arrival is moved into
+    // the event slot and moved out on forward, never copied.
     sim_.events().after(
         params_.routingLatency,
-        [this, in, a = std::move(arrival)]() mutable {
-            in->returnCredit();
+        [this, port, a = std::move(arrival)]() mutable {
             if (a.pkt.dst == id_) {
+                ports_[port].in->returnCredit();
                 ++local_;
                 deliverLocal(std::move(a));
                 return;
             }
             ++routed_;
             const unsigned out_port = route(a.pkt.dst);
-            assert(ports_[out_port].out && "routing to unwired port");
-            ports_[out_port].out->send(std::move(a.pkt));
+            policy_->ingress(port, out_port, std::move(a));
         });
+}
+
+void
+Switch::registerMetrics(obs::MetricsRegistry &m) const
+{
+    if (!policy_->isPassthrough())
+        policy_->registerMetrics(m, name_ + ".policy");
 }
 
 void

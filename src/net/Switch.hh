@@ -1,13 +1,17 @@
 /**
  * @file
- * An N-port output-queued SAN switch (the non-active baseline).
+ * An N-port SAN switch (the non-active baseline).
  *
  * Modelled after the central-output-queue organization of the IBM
  * Switch-3 the paper references: packets arriving on an input port
- * are routed after a fixed routing latency (100 ns) into the queue of
- * their output port, which drains at link rate. Credits on each
- * incoming link are returned once the packet leaves input staging.
- * Packets addressed to the switch itself are handed to
+ * are routed after a fixed routing latency (100 ns) and then handed
+ * to the switch's queueing policy (see net/SwitchPolicy.hh), which
+ * owns buffering, arbitration and the credit-return point. The
+ * default policy is the paper's central output queue and reproduces
+ * the pre-policy switch byte-for-byte; per-input VOQ + iSLIP and
+ * crosspoint-buffered organizations are selectable per switch (or
+ * forced repo-wide with SAN_FORCE_SWITCH_POLICY). Packets addressed
+ * to the switch itself never enter the policy: they are handed to
  * deliverLocal(), which the active switch overrides.
  */
 
@@ -15,11 +19,13 @@
 #define SAN_NET_SWITCH_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/Link.hh"
 #include "net/Packet.hh"
+#include "net/SwitchPolicy.hh"
 #include "sim/Simulation.hh"
 
 namespace san::net {
@@ -28,6 +34,9 @@ namespace san::net {
 struct SwitchParams {
     unsigned ports = 8;
     sim::Tick routingLatency = sim::ns(100); //!< paper: 100 ns
+    /** Queueing/arbitration organization; default is the paper's
+     * central output queue (fingerprint-identical passthrough). */
+    SwitchPolicyConfig policy{};
 };
 
 /** A conventional cut-through SAN switch. */
@@ -49,10 +58,16 @@ class Switch
     /**
      * Wire port @p port: @p out carries traffic away from this
      * switch, @p in delivers traffic to it (its sink is captured).
+     * @throws std::out_of_range for a port beyond params().ports and
+     * std::logic_error if the port is already wired — silent
+     * re-wiring would leave the old links' sinks dangling.
      */
     void attachPort(unsigned port, Link &out, Link &in);
 
-    /** Install/overwrite the route for destination @p dst. */
+    /**
+     * Install/overwrite the route for destination @p dst.
+     * @throws std::out_of_range for a port beyond params().ports.
+     */
     void setRoute(NodeId dst, unsigned port);
 
     /** Look up the output port for @p dst (asserts it exists). */
@@ -61,9 +76,27 @@ class Switch
 
     /**
      * Inject a locally-generated packet (management traffic; the
-     * active switch's Send unit uses this). Uses the routing table.
+     * active switch's Send unit and retransmit engine use this).
+     * Uses the routing table, then egresses through the queueing
+     * policy like any transit cell.
      */
     void inject(Packet pkt);
+
+    /** The queueing policy owning this switch's transit buffers. */
+    QueueingPolicy &policy() { return *policy_; }
+    const QueueingPolicy &policy() const { return *policy_; }
+
+    /** The out/in links of @p port (nullptr while unwired). */
+    Link *outLink(unsigned port) const { return ports_[port].out; }
+    Link *inLink(unsigned port) const { return ports_[port].in; }
+
+    /**
+     * Register the switch's transit-path gauges. Only non-default
+     * policies add columns (occupancy, staging, grant/HOL rates):
+     * the stock central queue keeps metrics timelines byte-identical
+     * to the pre-policy harness.
+     */
+    void registerMetrics(obs::MetricsRegistry &m) const;
 
     std::uint64_t packetsRouted() const { return routed_; }
     std::uint64_t packetsLocal() const { return local_; }
@@ -94,6 +127,9 @@ class Switch
     std::vector<PortWiring> ports_;
     std::vector<NodeId> routeDst_;   // parallel arrays: small tables
     std::vector<unsigned> routePort_;
+
+    /** Built last: policies read params_/ports_ via the switch. */
+    std::unique_ptr<QueueingPolicy> policy_;
 
     std::uint64_t routed_ = 0;
     std::uint64_t local_ = 0;

@@ -1,0 +1,824 @@
+#include "net/SwitchPolicy.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "net/Switch.hh"
+#include "sim/Simulation.hh"
+
+namespace san::net {
+
+namespace {
+
+constexpr sim::Tick kNever = std::numeric_limits<sim::Tick>::max();
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Names and spec parsing
+// ---------------------------------------------------------------------
+
+const char *
+policyKindName(SwitchPolicyKind kind)
+{
+    switch (kind) {
+    case SwitchPolicyKind::CentralOutput:
+        return "central";
+    case SwitchPolicyKind::Voq:
+        return "voq";
+    case SwitchPolicyKind::Crosspoint:
+        return "crosspoint";
+    }
+    return "?";
+}
+
+const char *
+serviceOrderName(ServiceOrder order)
+{
+    switch (order) {
+    case ServiceOrder::Fifo:
+        return "fifo";
+    case ServiceOrder::OldestFirst:
+        return "oldest";
+    case ServiceOrder::LongestFirst:
+        return "longest";
+    }
+    return "?";
+}
+
+std::optional<SwitchPolicyConfig>
+parsePolicySpec(std::string_view spec)
+{
+    SwitchPolicyConfig cfg;
+    std::string_view kind = spec;
+    std::string_view order;
+    if (const auto colon = spec.find(':'); colon != std::string_view::npos) {
+        kind = spec.substr(0, colon);
+        order = spec.substr(colon + 1);
+    }
+    if (kind == "central") {
+        cfg.kind = SwitchPolicyKind::CentralOutput;
+    } else if (kind == "fifo") {
+        // The classic finite shared-memory FIFO output queue.
+        cfg.kind = SwitchPolicyKind::CentralOutput;
+        cfg.sharedCapacityCells = 64;
+    } else if (kind == "voq") {
+        cfg.kind = SwitchPolicyKind::Voq;
+    } else if (kind == "crosspoint" || kind == "xpoint") {
+        cfg.kind = SwitchPolicyKind::Crosspoint;
+    } else {
+        return std::nullopt;
+    }
+    if (!order.empty()) {
+        if (order == "fifo")
+            cfg.order = ServiceOrder::Fifo;
+        else if (order == "oldest")
+            cfg.order = ServiceOrder::OldestFirst;
+        else if (order == "longest")
+            cfg.order = ServiceOrder::LongestFirst;
+        else
+            return std::nullopt;
+    }
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// QueueingPolicy base: accessors into the owning switch
+// ---------------------------------------------------------------------
+
+QueueingPolicy::QueueingPolicy(Switch &sw)
+    : sw_(sw), fwdFrom_(sw.params().ports + 1, 0),
+      fwdBytesFrom_(sw.params().ports + 1, 0)
+{}
+
+unsigned
+QueueingPolicy::portCount() const
+{
+    return sw_.params().ports;
+}
+
+unsigned
+QueueingPolicy::inputCount() const
+{
+    return sw_.params().ports + 1;
+}
+
+sim::Simulation &
+QueueingPolicy::simulation() const
+{
+    return sw_.sim();
+}
+
+void
+QueueingPolicy::creditReturn(unsigned in_port)
+{
+    if (in_port >= portCount())
+        return; // local injection: no link credit was charged
+    Link *in = sw_.inLink(in_port);
+    assert(in != nullptr && "credit return on unwired port");
+    in->returnCredit();
+}
+
+void
+QueueingPolicy::forward(unsigned in_port, unsigned out_port, Packet &&pkt)
+{
+    Link *out = sw_.outLink(out_port);
+    assert(out != nullptr && "routing to unwired port");
+    ++counters_.forwarded;
+    fwdFrom_[in_port] += 1;
+    fwdBytesFrom_[in_port] += pkt.wireBytes();
+    out->send(std::move(pkt));
+}
+
+sim::Tick
+QueueingPolicy::serialization(unsigned out_port, const Packet &pkt) const
+{
+    Link *out = sw_.outLink(out_port);
+    assert(out != nullptr);
+    return out->serialization(pkt);
+}
+
+bool
+QueueingPolicy::outputReady(unsigned out_port) const
+{
+    Link *out = sw_.outLink(out_port);
+    return out != nullptr && out->credits() > 0 && out->queued() == 0;
+}
+
+void
+QueueingPolicy::observeOutputCredits(std::function<void()> fn)
+{
+    creditObserver_ = std::move(fn);
+    for (unsigned p = 0; p < portCount(); ++p)
+        if (Link *out = sw_.outLink(p))
+            out->setCreditObserver(creditObserver_);
+}
+
+void
+QueueingPolicy::portAttached(unsigned port)
+{
+    if (!creditObserver_)
+        return;
+    if (Link *out = sw_.outLink(port))
+        out->setCreditObserver(creditObserver_);
+}
+
+std::uint64_t
+QueueingPolicy::forwardedFrom(unsigned in_port) const
+{
+    return fwdFrom_.at(in_port);
+}
+
+std::uint64_t
+QueueingPolicy::forwardedBytesFrom(unsigned in_port) const
+{
+    return fwdBytesFrom_.at(in_port);
+}
+
+void
+QueueingPolicy::registerMetrics(obs::MetricsRegistry &m,
+                                const std::string &prefix) const
+{
+    m.add(prefix + ".occupancy", obs::GaugeKind::Gauge,
+          [this] { return static_cast<double>(occupancy()); });
+    m.add(prefix + ".staged", obs::GaugeKind::Gauge,
+          [this] { return static_cast<double>(stagedCells()); });
+    m.add(prefix + ".forwarded", obs::GaugeKind::Rate,
+          [this] { return static_cast<double>(counters_.forwarded); });
+    m.add(prefix + ".grants", obs::GaugeKind::Rate,
+          [this] { return static_cast<double>(counters_.grants); });
+    m.add(prefix + ".holBlocked", obs::GaugeKind::Rate,
+          [this] { return static_cast<double>(counters_.holBlocked); });
+    m.add(prefix + ".arbRounds", obs::GaugeKind::Rate,
+          [this] { return static_cast<double>(counters_.arbRounds); });
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Central output queue (the paper's Switch-3)
+// ---------------------------------------------------------------------
+
+/**
+ * Unbounded: a pure passthrough onto the output link, byte-identical
+ * to the pre-policy switch (the link's internal queue *is* the
+ * paper's idealized central output queue). Bounded: per-output FIFOs
+ * drawing from one shared cell pool; when the pool is full, arriving
+ * cells stay in per-input staging with their credit withheld, so one
+ * hot output starves every input behind it — classic HOL blocking,
+ * kept on purpose as the baseline the other policies beat.
+ */
+class CentralOutputPolicy final : public QueueingPolicy
+{
+  public:
+    CentralOutputPolicy(Switch &sw, const SwitchPolicyConfig &cfg)
+        : QueueingPolicy(sw), cap_(cfg.sharedCapacityCells),
+          fifo_(portCount()), staged_(inputCount()),
+          busy_(portCount(), false)
+    {
+        if (cap_ != 0)
+            observeOutputCredits([this] { onCredit(); });
+    }
+
+    const char *
+    name() const override
+    {
+        return cap_ == 0 ? "central" : "central-bounded";
+    }
+
+    bool isPassthrough() const override { return cap_ == 0; }
+
+    void
+    ingress(unsigned in, unsigned out, Arrival &&arrival) override
+    {
+        if (cap_ == 0) {
+            // Legacy order exactly: credit first, then forward.
+            creditReturn(in);
+            forward(in, out, std::move(arrival.pkt));
+            return;
+        }
+        // A cell may only bypass staging when its input has nothing
+        // staged: admitting around staged cells would reorder the
+        // input's wire stream (and with it some flow).
+        if (staged_[in].empty() && occ_ < cap_) {
+            admit(Cell{std::move(arrival.pkt), simulation().now(), in,
+                       out});
+        } else {
+            ++counters_.holBlocked;
+            staged_[in].push_back(Cell{std::move(arrival.pkt),
+                                       simulation().now(), in, out});
+        }
+    }
+
+    std::size_t occupancy() const override { return occ_; }
+
+    std::size_t
+    stagedCells() const override
+    {
+        std::size_t n = 0;
+        for (const auto &q : staged_)
+            n += q.size();
+        return n;
+    }
+
+  private:
+    void
+    admit(Cell &&c)
+    {
+        ++counters_.admitted;
+        ++occ_;
+        counters_.peakOccupancy =
+            std::max<std::uint64_t>(counters_.peakOccupancy, occ_);
+        creditReturn(c.in);
+        const unsigned out = c.out;
+        fifo_[out].push_back(std::move(c));
+        serve(out);
+    }
+
+    void
+    serve(unsigned out)
+    {
+        if (busy_[out] || fifo_[out].empty() || !outputReady(out))
+            return;
+        busy_[out] = true;
+        Cell c = std::move(fifo_[out].front());
+        fifo_[out].pop_front();
+        ++counters_.grants;
+        const sim::Tick ser = serialization(out, c.pkt);
+        forward(c.in, out, std::move(c.pkt));
+        // The shared-memory slot frees when the cell has fully left
+        // the switch, one serialization time later.
+        simulation().events().after(ser, [this, out] {
+            busy_[out] = false;
+            --occ_;
+            admitStaged();
+            serve(out);
+        });
+    }
+
+    /** Round-robin the freed shared slots over the staged inputs. */
+    void
+    admitStaged()
+    {
+        const unsigned n = inputCount();
+        unsigned scanned = 0;
+        while (occ_ < cap_ && scanned < n) {
+            if (!staged_[rr_].empty()) {
+                Cell c = std::move(staged_[rr_].front());
+                staged_[rr_].pop_front();
+                scanned = 0;
+                admit(std::move(c));
+            } else {
+                ++scanned;
+            }
+            rr_ = (rr_ + 1) % n;
+        }
+    }
+
+    void
+    onCredit()
+    {
+        if (occ_ == 0)
+            return;
+        for (unsigned out = 0; out < portCount(); ++out)
+            serve(out);
+    }
+
+    const unsigned cap_; //!< 0 = unbounded passthrough
+    std::vector<std::deque<Cell>> fifo_;   //!< per output
+    std::vector<std::deque<Cell>> staged_; //!< per input, credit held
+    std::vector<char> busy_;               //!< per-output server busy
+    std::uint64_t occ_ = 0;
+    unsigned rr_ = 0; //!< staged-admission round-robin pointer
+};
+
+// ---------------------------------------------------------------------
+// Virtual output queues + iSLIP
+// ---------------------------------------------------------------------
+
+/**
+ * One FIFO per (input, output) pair removes HOL blocking entirely: a
+ * hot output's backlog piles up in its own VOQs while every other
+ * VOQ keeps flowing. Cells are matched to outputs by iSLIP: each
+ * free output grants one requesting input (by the configured service
+ * order), each input accepts one grant round-robin, iterated until
+ * no new matches form. Pointers advance only on first-iteration
+ * accepts — the desynchronization that makes round-robin iSLIP
+ * starvation-free (a persistent requester is served within one
+ * pointer revolution; maxGrantWaitRounds() exposes the observed
+ * bound).
+ */
+class VoqIslipPolicy final : public QueueingPolicy
+{
+  public:
+    VoqIslipPolicy(Switch &sw, const SwitchPolicyConfig &cfg)
+        : QueueingPolicy(sw), cap_(std::max(1u, cfg.voqCapacityCells)),
+          order_(cfg.order), voq_(inputCount() * portCount()),
+          staged_(inputCount()), grantPtr_(portCount(), 0),
+          acceptPtr_(inputCount(), 0), inBusyUntil_(inputCount(), 0),
+          outBusyUntil_(portCount(), 0), waitRounds_(inputCount(), 0)
+    {
+        observeOutputCredits([this] { kick(); });
+    }
+
+    const char *
+    name() const override
+    {
+        switch (order_) {
+        case ServiceOrder::OldestFirst:
+            return "voq-oldest";
+        case ServiceOrder::LongestFirst:
+            return "voq-longest";
+        default:
+            return "voq-islip";
+        }
+    }
+
+    void
+    ingress(unsigned in, unsigned out, Arrival &&arrival) override
+    {
+        Cell c{std::move(arrival.pkt), simulation().now(), in, out};
+        // Wire order: never admit around cells already staged on
+        // this input (see CentralOutputPolicy::ingress).
+        if (staged_[in].empty() && voq(in, out).size() < cap_) {
+            admit(std::move(c));
+        } else {
+            ++counters_.holBlocked;
+            staged_[in].push_back(std::move(c));
+        }
+        kick();
+    }
+
+    std::size_t occupancy() const override { return occ_; }
+
+    std::size_t
+    stagedCells() const override
+    {
+        std::size_t n = 0;
+        for (const auto &q : staged_)
+            n += q.size();
+        return n;
+    }
+
+    std::uint64_t maxGrantWaitRounds() const override { return maxWait_; }
+
+  private:
+    std::deque<Cell> &
+    voq(unsigned in, unsigned out)
+    {
+        return voq_[in * portCount() + out];
+    }
+
+    void
+    admit(Cell &&c)
+    {
+        ++counters_.admitted;
+        ++occ_;
+        counters_.peakOccupancy =
+            std::max<std::uint64_t>(counters_.peakOccupancy, occ_);
+        creditReturn(c.in);
+        const unsigned in = c.in, out = c.out;
+        voq(in, out).push_back(std::move(c));
+    }
+
+    /** Schedule an arbitration pass this tick unless one is already
+     * due now or earlier. postNow keeps same-tick arrivals coalesced
+     * into a single pass. */
+    void
+    kick()
+    {
+        if (occ_ == 0)
+            return;
+        scheduleArbAt(simulation().now());
+    }
+
+    void
+    scheduleArbAt(sim::Tick t)
+    {
+        if (t >= arbAt_)
+            return; // an earlier or equal pass is already scheduled
+        arbAt_ = t;
+        const sim::Tick now = simulation().now();
+        if (t <= now)
+            simulation().events().postNow([this] { arbitrate(); });
+        else
+            simulation().events().schedule(t, [this] { arbitrate(); });
+    }
+
+    bool
+    inFree(unsigned i, sim::Tick now) const
+    {
+        return inBusyUntil_[i] <= now;
+    }
+
+    bool
+    outFree(unsigned o, sim::Tick now) const
+    {
+        return outBusyUntil_[o] <= now && outputReady(o);
+    }
+
+    bool
+    hasAnyCell(unsigned i)
+    {
+        for (unsigned o = 0; o < portCount(); ++o)
+            if (!voq(i, o).empty())
+                return true;
+        return false;
+    }
+
+    /** Grant phase: which input does free output @p o grant? */
+    int
+    pickRequester(unsigned o, sim::Tick now,
+                  const std::vector<int> &inMatch)
+    {
+        const unsigned V = inputCount();
+        int best = -1;
+        for (unsigned k = 0; k < V; ++k) {
+            const unsigned i = (grantPtr_[o] + k) % V;
+            if (inMatch[i] >= 0 || !inFree(i, now) || voq(i, o).empty())
+                continue;
+            if (order_ == ServiceOrder::Fifo)
+                return static_cast<int>(i); // first in pointer order
+            if (best < 0) {
+                best = static_cast<int>(i);
+                continue;
+            }
+            const auto &bq = voq(static_cast<unsigned>(best), o);
+            const auto &iq = voq(i, o);
+            if (order_ == ServiceOrder::OldestFirst
+                    ? iq.front().enqueuedAt < bq.front().enqueuedAt
+                    : iq.size() > bq.size())
+                best = static_cast<int>(i);
+        }
+        return best;
+    }
+
+    void
+    arbitrate()
+    {
+        arbAt_ = kNever;
+        const sim::Tick now = simulation().now();
+        const unsigned V = inputCount(), P = portCount();
+
+        bool anyRequest = false;
+        for (unsigned i = 0; i < V && !anyRequest; ++i)
+            if (inFree(i, now))
+                for (unsigned o = 0; o < P; ++o)
+                    if (outFree(o, now) && !voq(i, o).empty()) {
+                        anyRequest = true;
+                        break;
+                    }
+        if (anyRequest) {
+            ++counters_.arbRounds;
+            match(now);
+        }
+        rescheduleIfPending(now);
+    }
+
+    void
+    match(sim::Tick now)
+    {
+        const unsigned V = inputCount(), P = portCount();
+        std::vector<int> inMatch(V, -1), outMatch(P, -1);
+        bool firstIter = true;
+        for (;;) {
+            // Grant: every free unmatched output offers one input.
+            std::vector<int> grantTo(P, -1);
+            for (unsigned o = 0; o < P; ++o) {
+                if (outMatch[o] >= 0 || !outFree(o, now))
+                    continue;
+                grantTo[o] = pickRequester(o, now, inMatch);
+            }
+            // Accept: every free unmatched input takes one grant,
+            // round-robin from its accept pointer.
+            bool matchedAny = false;
+            for (unsigned i = 0; i < V; ++i) {
+                if (inMatch[i] >= 0 || !inFree(i, now))
+                    continue;
+                int got = -1;
+                for (unsigned k = 0; k < P; ++k) {
+                    const unsigned o = (acceptPtr_[i] + k) % P;
+                    if (grantTo[o] == static_cast<int>(i)) {
+                        got = static_cast<int>(o);
+                        break;
+                    }
+                }
+                if (got < 0)
+                    continue;
+                inMatch[i] = got;
+                outMatch[static_cast<unsigned>(got)] =
+                    static_cast<int>(i);
+                matchedAny = true;
+                if (firstIter) {
+                    // iSLIP: pointers move only on first-iteration
+                    // accepts — the desynchronization rule.
+                    grantPtr_[static_cast<unsigned>(got)] = (i + 1) % V;
+                    acceptPtr_[i] =
+                        (static_cast<unsigned>(got) + 1) % P;
+                }
+            }
+            if (!matchedAny)
+                break;
+            firstIter = false;
+        }
+
+        // Starvation accounting over the pre-dispatch state.
+        for (unsigned i = 0; i < V; ++i) {
+            if (!inFree(i, now) || !hasAnyCell(i))
+                continue;
+            if (inMatch[i] >= 0) {
+                maxWait_ = std::max(maxWait_, waitRounds_[i]);
+                waitRounds_[i] = 0;
+            } else {
+                ++waitRounds_[i];
+            }
+        }
+
+        for (unsigned i = 0; i < V; ++i)
+            if (inMatch[i] >= 0)
+                serve(i, static_cast<unsigned>(inMatch[i]), now);
+    }
+
+    void
+    serve(unsigned i, unsigned o, sim::Tick now)
+    {
+        Cell c = std::move(voq(i, o).front());
+        voq(i, o).pop_front();
+        --occ_;
+        ++counters_.grants;
+        const sim::Tick ser = serialization(o, c.pkt);
+        inBusyUntil_[i] = now + ser;
+        outBusyUntil_[o] = now + ser;
+        forward(c.in, o, std::move(c.pkt));
+        admitStaged(i);
+    }
+
+    /** Freed VOQ space admits staged cells in wire order (head only:
+     * admitting past the head would reorder the input stream). */
+    void
+    admitStaged(unsigned i)
+    {
+        while (!staged_[i].empty()) {
+            Cell &head = staged_[i].front();
+            if (voq(i, head.out).size() >= cap_)
+                break;
+            Cell c = std::move(head);
+            staged_[i].pop_front();
+            admit(std::move(c));
+        }
+    }
+
+    void
+    rescheduleIfPending(sim::Tick now)
+    {
+        if (occ_ == 0)
+            return;
+        // Next chance anything changes on our own clock: the
+        // earliest in-flight transmission completing. (A blocked
+        // downstream link wakes us through the credit observer
+        // instead.)
+        sim::Tick next = kNever;
+        for (const sim::Tick t : inBusyUntil_)
+            if (t > now)
+                next = std::min(next, t);
+        for (const sim::Tick t : outBusyUntil_)
+            if (t > now)
+                next = std::min(next, t);
+        if (next != kNever)
+            scheduleArbAt(next);
+    }
+
+    const unsigned cap_;
+    const ServiceOrder order_;
+    std::vector<std::deque<Cell>> voq_;    //!< (input x output) FIFOs
+    std::vector<std::deque<Cell>> staged_; //!< per input, credit held
+    std::vector<unsigned> grantPtr_;       //!< per-output iSLIP ptr
+    std::vector<unsigned> acceptPtr_;      //!< per-input iSLIP ptr
+    std::vector<sim::Tick> inBusyUntil_;
+    std::vector<sim::Tick> outBusyUntil_;
+    std::vector<std::uint64_t> waitRounds_;
+    std::uint64_t occ_ = 0;
+    std::uint64_t maxWait_ = 0;
+    sim::Tick arbAt_ = kNever; //!< earliest scheduled arbitration
+};
+
+// ---------------------------------------------------------------------
+// Crosspoint-buffered crossbar (CICQ)
+// ---------------------------------------------------------------------
+
+/**
+ * A small dedicated buffer at every (input, output) crosspoint
+ * decouples inputs from outputs without a centralized arbiter: an
+ * arriving cell drops into its crosspoint if there is room, and each
+ * output independently serves its column by the configured
+ * discipline. Buffering is O(N^2) in ports — the hardware cost that
+ * historically kept CICQ switches small.
+ */
+class CrosspointPolicy final : public QueueingPolicy
+{
+  public:
+    CrosspointPolicy(Switch &sw, const SwitchPolicyConfig &cfg)
+        : QueueingPolicy(sw),
+          cap_(std::max(1u, cfg.crosspointCapacityCells)),
+          order_(cfg.order), xq_(inputCount() * portCount()),
+          staged_(inputCount()), busy_(portCount(), false),
+          rrPtr_(portCount(), 0)
+    {
+        observeOutputCredits([this] { onCredit(); });
+    }
+
+    const char *
+    name() const override
+    {
+        switch (order_) {
+        case ServiceOrder::OldestFirst:
+            return "xpoint-oldest";
+        case ServiceOrder::LongestFirst:
+            return "xpoint-longest";
+        default:
+            return "xpoint-rr";
+        }
+    }
+
+    void
+    ingress(unsigned in, unsigned out, Arrival &&arrival) override
+    {
+        Cell c{std::move(arrival.pkt), simulation().now(), in, out};
+        // Wire order: never admit around cells already staged on
+        // this input (see CentralOutputPolicy::ingress).
+        if (staged_[in].empty() && xq(in, out).size() < cap_) {
+            admit(std::move(c));
+        } else {
+            ++counters_.holBlocked;
+            staged_[in].push_back(std::move(c));
+        }
+    }
+
+    std::size_t occupancy() const override { return occ_; }
+
+    std::size_t
+    stagedCells() const override
+    {
+        std::size_t n = 0;
+        for (const auto &q : staged_)
+            n += q.size();
+        return n;
+    }
+
+  private:
+    std::deque<Cell> &
+    xq(unsigned in, unsigned out)
+    {
+        return xq_[in * portCount() + out];
+    }
+
+    void
+    admit(Cell &&c)
+    {
+        ++counters_.admitted;
+        ++occ_;
+        counters_.peakOccupancy =
+            std::max<std::uint64_t>(counters_.peakOccupancy, occ_);
+        creditReturn(c.in);
+        const unsigned out = c.out;
+        xq(c.in, out).push_back(std::move(c));
+        serve(out);
+    }
+
+    /** Output @p out picks the next crosspoint in its column. */
+    void
+    serve(unsigned out)
+    {
+        if (busy_[out] || !outputReady(out))
+            return;
+        const unsigned V = inputCount();
+        int pick = -1;
+        for (unsigned k = 0; k < V; ++k) {
+            const unsigned i = (rrPtr_[out] + k) % V;
+            if (xq(i, out).empty())
+                continue;
+            if (order_ == ServiceOrder::Fifo) {
+                pick = static_cast<int>(i);
+                break;
+            }
+            if (pick < 0) {
+                pick = static_cast<int>(i);
+                continue;
+            }
+            const auto &pq = xq(static_cast<unsigned>(pick), out);
+            const auto &iq = xq(i, out);
+            if (order_ == ServiceOrder::OldestFirst
+                    ? iq.front().enqueuedAt < pq.front().enqueuedAt
+                    : iq.size() > pq.size())
+                pick = static_cast<int>(i);
+        }
+        if (pick < 0)
+            return;
+        const auto in = static_cast<unsigned>(pick);
+        rrPtr_[out] = (in + 1) % V;
+        Cell c = std::move(xq(in, out).front());
+        xq(in, out).pop_front();
+        --occ_;
+        ++counters_.grants;
+        ++counters_.arbRounds;
+        busy_[out] = true;
+        const sim::Tick ser = serialization(out, c.pkt);
+        forward(c.in, out, std::move(c.pkt));
+        simulation().events().after(ser, [this, out, in] {
+            busy_[out] = false;
+            admitStaged(in);
+            serve(out);
+        });
+    }
+
+    void
+    admitStaged(unsigned i)
+    {
+        while (!staged_[i].empty()) {
+            Cell &head = staged_[i].front();
+            if (xq(i, head.out).size() >= cap_)
+                break;
+            Cell c = std::move(head);
+            staged_[i].pop_front();
+            admit(std::move(c));
+        }
+    }
+
+    void
+    onCredit()
+    {
+        if (occ_ == 0)
+            return;
+        for (unsigned out = 0; out < portCount(); ++out)
+            serve(out);
+    }
+
+    const unsigned cap_;
+    const ServiceOrder order_;
+    std::vector<std::deque<Cell>> xq_; //!< (input x output) buffers
+    std::vector<std::deque<Cell>> staged_;
+    std::vector<char> busy_;
+    std::vector<unsigned> rrPtr_;
+    std::uint64_t occ_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<QueueingPolicy>
+makeQueueingPolicy(Switch &sw, const SwitchPolicyConfig &cfg)
+{
+    switch (cfg.kind) {
+    case SwitchPolicyKind::Voq:
+        return std::make_unique<VoqIslipPolicy>(sw, cfg);
+    case SwitchPolicyKind::Crosspoint:
+        return std::make_unique<CrosspointPolicy>(sw, cfg);
+    case SwitchPolicyKind::CentralOutput:
+        break;
+    }
+    return std::make_unique<CentralOutputPolicy>(sw, cfg);
+}
+
+} // namespace san::net

@@ -1,0 +1,190 @@
+#include "net/Traffic.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace san::net {
+
+TrafficGen::TrafficGen(sim::Simulation &sim, std::vector<Adapter *> hosts,
+                       const TrafficParams &params)
+    : sim_(sim), hosts_(std::move(hosts)), params_(params)
+{
+    assert(hosts_.size() >= 2 && "traffic needs at least two hosts");
+    assert(params_.hotspot < hosts_.size());
+    for (unsigned i = 0; i < hosts_.size(); ++i)
+        if (i != params_.hotspot)
+            senders_.push_back(i);
+    if (params_.spacing == 0) {
+        // One message's wire time at the default 1 GB/s (1 byte/ns):
+        // each sender offers exactly its link rate.
+        const std::uint64_t pkts =
+            (params_.messageBytes + params_.mtu - 1) / params_.mtu;
+        params_.spacing = sim::ns(params_.messageBytes +
+                                  pkts * headerBytes);
+    }
+    if (params_.pattern == TrafficParams::Pattern::Incast)
+        params_.permMessages = 0;
+}
+
+void
+TrafficGen::post(unsigned sender_slot, unsigned msg_index)
+{
+    // Deterministic interleave: within a sender's post sequence,
+    // every hotInterleave-th message is hot until the hot budget is
+    // spent, then the remaining ring messages drain.
+    const unsigned total = params_.permMessages + params_.hotMessages;
+    unsigned hot_before = 0;
+    const unsigned k = std::max(1u, params_.hotInterleave);
+    for (unsigned j = 0; j < msg_index; ++j)
+        if (hot_before < params_.hotMessages && (j + 1) % k == 0)
+            ++hot_before;
+    bool hot = hot_before < params_.hotMessages &&
+               (msg_index + 1) % k == 0;
+    // Pure incast: everything is hot.
+    if (params_.permMessages == 0)
+        hot = true;
+    // Hot budget exhausted but perm budget too? (msg_index always
+    // < total, so one of the two has room.)
+    const unsigned perm_before = msg_index - hot_before;
+    if (!hot && perm_before >= params_.permMessages)
+        hot = true;
+    assert(msg_index < total);
+
+    const unsigned src = senders_[sender_slot];
+    unsigned dst;
+    if (hot) {
+        dst = params_.hotspot;
+    } else {
+        // Ring permutation over the senders: slot s -> slot s+1.
+        dst = senders_[(sender_slot + 1) % senders_.size()];
+    }
+    const std::uint32_t tag = nextTag_++;
+    meta_[tag] = MessageMeta{sim_.now(), sender_slot, hot};
+    hosts_[src]->sendMessage(hosts_[dst]->id(), params_.messageBytes,
+                             std::nullopt, nullptr, tag);
+}
+
+sim::Task
+TrafficGen::drain(Adapter &host, unsigned expected)
+{
+    for (unsigned i = 0; i < expected; ++i) {
+        Message msg = co_await host.recvQueue().pop();
+        onDelivery(msg);
+    }
+}
+
+void
+TrafficGen::onDelivery(const Message &msg)
+{
+    const auto it = meta_.find(msg.tag);
+    if (it == meta_.end())
+        return; // not ours
+    deliveries_.push_back(Delivery{msg.completedAt, msg.bytes,
+                                   it->second.postedAt,
+                                   it->second.senderSlot,
+                                   it->second.hot});
+}
+
+void
+TrafficGen::start()
+{
+    assert(!started_ && "start() is one-shot");
+    started_ = true;
+    firstPostAt_ = sim_.now();
+
+    const unsigned total = params_.permMessages + params_.hotMessages;
+    for (unsigned s = 0; s < senders_.size(); ++s) {
+        for (unsigned j = 0; j < total; ++j) {
+            const sim::Tick at = firstPostAt_ + j * params_.spacing;
+            sim_.events().schedule(
+                at, [this, s, j] { post(s, j); });
+        }
+    }
+
+    // Expected deliveries: the hotspot gets every hot message, each
+    // sender gets its ring predecessor's perm messages.
+    const auto n = static_cast<unsigned>(senders_.size());
+    sim_.spawn(drain(*hosts_[params_.hotspot],
+                     n * params_.hotMessages));
+    for (unsigned s = 0; s < n; ++s)
+        sim_.spawn(drain(*hosts_[senders_[s]], params_.permMessages));
+}
+
+TrafficReport
+TrafficGen::report() const
+{
+    TrafficReport r;
+    r.firstPostAt = firstPostAt_;
+
+    const auto n = static_cast<unsigned>(senders_.size());
+    std::vector<std::uint64_t> fairBytes(n, 0);
+    std::vector<sim::Tick> fairLast(n, 0);
+    double latSum = 0.0;
+    std::uint64_t latCount = 0;
+
+    const bool usePermForFairness = params_.permMessages != 0;
+    for (const Delivery &d : deliveries_) {
+        r.deliveredBytes += d.bytes;
+        ++r.deliveredMessages;
+        r.lastDeliveryAt = std::max(r.lastDeliveryAt, d.at);
+        if (d.hot) {
+            r.hotBytes += d.bytes;
+        } else {
+            r.permBytes += d.bytes;
+            r.permDoneAt = std::max(r.permDoneAt, d.at);
+        }
+        const bool counts = usePermForFairness ? !d.hot : d.hot;
+        if (counts) {
+            fairBytes[d.senderSlot] += d.bytes;
+            fairLast[d.senderSlot] =
+                std::max(fairLast[d.senderSlot], d.at);
+            latSum += static_cast<double>(d.at - d.postedAt);
+            r.permLatencyMaxNs =
+                std::max(r.permLatencyMaxNs,
+                         static_cast<double>(d.at - d.postedAt) / 1e3);
+            ++latCount;
+        }
+    }
+    if (r.permDoneAt == 0)
+        r.permDoneAt = r.lastDeliveryAt; // pure incast
+    for (const Delivery &d : deliveries_)
+        if (d.at <= r.permDoneAt)
+            r.bytesAtPermDone += d.bytes;
+
+    const auto window =
+        static_cast<double>(r.permDoneAt - r.firstPostAt);
+    if (window > 0) {
+        // Ticks are picoseconds: bytes/ps * 1e12 / 1e9 = GB/s.
+        r.aggregateGBps =
+            static_cast<double>(r.bytesAtPermDone) * 1e3 / window;
+        r.permGoodputGBps =
+            static_cast<double>(usePermForFairness ? r.permBytes
+                                                   : r.hotBytes) *
+            1e3 / window;
+    }
+    if (latCount > 0)
+        r.permLatencyMeanNs =
+            latSum / static_cast<double>(latCount) / 1e3;
+
+    // Jain over per-sender goodput: bytes / (own completion window).
+    double sum = 0.0, sumSq = 0.0;
+    unsigned live = 0;
+    for (unsigned s = 0; s < n; ++s) {
+        if (fairBytes[s] == 0)
+            continue;
+        const auto w =
+            static_cast<double>(fairLast[s] - r.firstPostAt);
+        if (w <= 0)
+            continue;
+        const double x = static_cast<double>(fairBytes[s]) / w;
+        sum += x;
+        sumSq += x * x;
+        ++live;
+    }
+    if (live > 0 && sumSq > 0)
+        r.jainFairness = (sum * sum) / (live * sumSq);
+    return r;
+}
+
+} // namespace san::net

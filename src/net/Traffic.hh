@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Synthetic hotspot/incast traffic for the switch policy lab.
+ *
+ * Two patterns, both classic switch-evaluation workloads:
+ *
+ *  - Incast (N-to-1): every sender streams messages at one hot
+ *    receiver. The hot output link is the bottleneck under any
+ *    policy; what differs is queueing delay and fairness across
+ *    senders.
+ *  - Permutation-with-hotspot: senders exchange messages in a ring
+ *    (a permutation a non-blocking switch carries at full rate)
+ *    while also interleaving a fraction of hot messages at a node
+ *    that only receives. The hot backlog is what separates the
+ *    policies: a finite central output queue lets it head-of-line
+ *    block the permutation traffic, VOQs absorb it per input and
+ *    keep the ring at line rate.
+ *
+ * The generator is deterministic (fixed interleave, fixed spacing,
+ * no PRNG), so per-policy reports are byte-stable and golden-testable.
+ */
+
+#ifndef SAN_NET_TRAFFIC_HH
+#define SAN_NET_TRAFFIC_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/Adapter.hh"
+#include "sim/Simulation.hh"
+#include "sim/Types.hh"
+
+namespace san::net {
+
+/** Traffic pattern configuration. */
+struct TrafficParams {
+    enum class Pattern { Incast, PermutationHotspot };
+
+    Pattern pattern = Pattern::PermutationHotspot;
+    /** Index (into the host vector) of the hot receiver. It only
+     * receives: its own sends would contend with the hot backlog and
+     * blur the comparison. */
+    unsigned hotspot = 0;
+    std::uint32_t messageBytes = 4096;
+    unsigned permMessages = 48; //!< ring messages per sender
+    unsigned hotMessages = 24;  //!< hot messages per sender
+    /** Every k-th posted message goes to the hotspot (until the
+     * sender's hot budget is spent). */
+    unsigned hotInterleave = 3;
+    /** Gap between message posts per sender; 0 = one message wire
+     * time at 1 GB/s, i.e. each sender offers its full link rate. */
+    sim::Tick spacing = 0;
+    unsigned mtu = defaultMtu; //!< for the default spacing estimate
+};
+
+/** End-of-run traffic summary (all values deterministic). */
+struct TrafficReport {
+    std::uint64_t deliveredBytes = 0;
+    std::uint64_t deliveredMessages = 0;
+    std::uint64_t permBytes = 0;
+    std::uint64_t hotBytes = 0;
+    sim::Tick firstPostAt = 0;
+    sim::Tick lastDeliveryAt = 0;
+    /** When the last permutation (non-hot) message completed; equals
+     * lastDeliveryAt for pure incast. */
+    sim::Tick permDoneAt = 0;
+    /** Payload bytes (hot + perm) delivered by permDoneAt. */
+    std::uint64_t bytesAtPermDone = 0;
+    /** Aggregate goodput over the permutation window, GB/s. */
+    double aggregateGBps = 0.0;
+    /** Permutation-only goodput over the same window, GB/s. */
+    double permGoodputGBps = 0.0;
+    double permLatencyMeanNs = 0.0;
+    double permLatencyMaxNs = 0.0;
+    /** Jain index over per-sender goodput (1.0 = perfectly fair). */
+    double jainFairness = 1.0;
+};
+
+/**
+ * Drives one pattern over a set of fabric endpoints. Construct after
+ * wiring and computeRoutes(), call start() before Simulation::run(),
+ * and report() after it returns.
+ */
+class TrafficGen
+{
+  public:
+    TrafficGen(sim::Simulation &sim, std::vector<Adapter *> hosts,
+               const TrafficParams &params);
+
+    /** Schedule every send and spawn the receive drains. */
+    void start();
+
+    /** Summarize the run (call after Simulation::run()). */
+    TrafficReport report() const;
+
+  private:
+    struct MessageMeta {
+        sim::Tick postedAt = 0;
+        unsigned senderSlot = 0; //!< index into senders_
+        bool hot = false;
+    };
+    struct Delivery {
+        sim::Tick at = 0;
+        std::uint64_t bytes = 0;
+        sim::Tick postedAt = 0;
+        unsigned senderSlot = 0;
+        bool hot = false;
+    };
+
+    void post(unsigned sender_slot, unsigned msg_index);
+    sim::Task drain(Adapter &host, unsigned expected);
+    void onDelivery(const Message &msg);
+
+    sim::Simulation &sim_;
+    std::vector<Adapter *> hosts_;
+    TrafficParams params_;
+    std::vector<unsigned> senders_; //!< host indices that send
+    std::unordered_map<std::uint32_t, MessageMeta> meta_; //!< by tag
+    std::vector<Delivery> deliveries_;
+    std::uint32_t nextTag_ = 1;
+    sim::Tick firstPostAt_ = 0;
+    bool started_ = false;
+};
+
+} // namespace san::net
+
+#endif // SAN_NET_TRAFFIC_HH

@@ -29,9 +29,10 @@ struct Fixture {
     net::Adapter *tca;
     io::StorageNode *storage;
 
-    explicit Fixture(ActiveConfig cfg = {})
+    explicit Fixture(ActiveConfig cfg = {},
+                     net::SwitchParams sw_params = net::SwitchParams{8})
     {
-        sw = &fabric.addSwitch<ActiveSwitch>(net::SwitchParams{8}, cfg);
+        sw = &fabric.addSwitch<ActiveSwitch>(sw_params, cfg);
         h = new host::Host(s, "host0", fabric);
         tca = &fabric.addAdapter("tca0");
         storage = new io::StorageNode(s, *tca);
@@ -49,7 +50,11 @@ struct Fixture {
     }
 };
 
-TEST(ActiveFairness, SlowInstanceDoesNotStarveFastOne)
+/** The slow/fast two-instance starvation check, under @p sw_params:
+ * active-dispatch fairness must hold regardless of which queueing
+ * policy carries the packets to the dispatch unit. */
+void
+slowInstanceDoesNotStarveFastOne(const net::SwitchParams &sw_params)
 {
     // Two CPUs: CPU 0 runs a pathologically slow consumer, CPU 1 a
     // fast one. Both stream 16 KB from disk concurrently. Without
@@ -57,7 +62,7 @@ TEST(ActiveFairness, SlowInstanceDoesNotStarveFastOne)
     // hold all 16 buffers and serialize the fast one behind it.
     ActiveConfig cfg;
     cfg.cpus = 2;
-    Fixture f(cfg);
+    Fixture f(cfg, sw_params);
     Tick fast_done = 0, slow_done = 0;
     const std::uint64_t bytes = 16 * 1024;
 
@@ -89,6 +94,27 @@ TEST(ActiveFairness, SlowInstanceDoesNotStarveFastOne)
     // The fast stream must finish long before the slow one (i.e. it
     // was not serialized behind the slow stream's backlog).
     EXPECT_LT(fast_done, slow_done / 2);
+}
+
+TEST(ActiveFairness, SlowInstanceDoesNotStarveFastOne)
+{
+    slowInstanceDoesNotStarveFastOne(net::SwitchParams{8});
+}
+
+TEST(ActiveFairness, SlowInstanceDoesNotStarveFastOneUnderVoq)
+{
+    // Same property with the active hardware composed over VOQ+iSLIP:
+    // dispatch fairness must not depend on the default central queue.
+    net::SwitchParams params{8};
+    params.policy.kind = net::SwitchPolicyKind::Voq;
+    slowInstanceDoesNotStarveFastOne(params);
+}
+
+TEST(ActiveFairness, SlowInstanceDoesNotStarveFastOneUnderCrosspoint)
+{
+    net::SwitchParams params{8};
+    params.policy.kind = net::SwitchPolicyKind::Crosspoint;
+    slowInstanceDoesNotStarveFastOne(params);
 }
 
 TEST(ActiveFairness, QuotaSplitsPoolAcrossInstances)

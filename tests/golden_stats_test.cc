@@ -88,8 +88,21 @@ goldenPathFor(const GoldenCase &c)
 class GoldenStats : public ::testing::TestWithParam<GoldenCase>
 {};
 
+/** The goldens pin the *default* policy's event stream; a forced
+ * policy override (the CI policy matrix) legitimately changes every
+ * default-configured switch's timing, so these comparisons are
+ * meaningless under it. */
+bool
+policyForced()
+{
+    return std::getenv("SAN_FORCE_SWITCH_POLICY") != nullptr;
+}
+
 TEST_P(GoldenStats, MatchesGoldenFile)
 {
+    if (policyForced())
+        GTEST_SKIP() << "SAN_FORCE_SWITCH_POLICY overrides the "
+                        "default policy these goldens pin";
     const GoldenCase &c = GetParam();
     const std::string actual = statsJsonFor(c);
     ASSERT_FALSE(actual.empty());
@@ -125,6 +138,9 @@ TEST(GoldenFingerprint, FreshRunReproducesCommittedFingerprint)
     const GoldenCase c{"mpeg", apps::Mode::Active};
     if (std::getenv("SAN_UPDATE_GOLDEN") != nullptr)
         GTEST_SKIP() << "goldens being regenerated";
+    if (policyForced())
+        GTEST_SKIP() << "SAN_FORCE_SWITCH_POLICY changes the event "
+                        "stream the fingerprint pins";
     std::ifstream in(goldenPathFor(c));
     ASSERT_TRUE(in) << "missing golden file " << goldenPathFor(c);
     std::uint64_t committed = 0;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "net/Fabric.hh"
@@ -180,6 +181,34 @@ TEST(Fabric, ByteConservationAcrossFabric)
     for (auto *h : hosts)
         received += h->bytesReceived();
     EXPECT_EQ(received, sent);
+}
+
+TEST(Switch, AttachPortRejectsOutOfRangeAndRewiring)
+{
+    Simulation s;
+    Switch sw(s, "sw", 1, SwitchParams{4});
+    Link out(s, "out", LinkParams{});
+    Link in(s, "in", LinkParams{});
+    // Beyond params().ports: no such port exists.
+    EXPECT_THROW(sw.attachPort(4, out, in), std::out_of_range);
+    sw.attachPort(0, out, in);
+    // Silent re-wiring would leave the first links' sinks dangling.
+    Link out2(s, "out2", LinkParams{});
+    Link in2(s, "in2", LinkParams{});
+    EXPECT_THROW(sw.attachPort(0, out2, in2), std::logic_error);
+    // The original wiring survives the failed attempts.
+    EXPECT_EQ(sw.outLink(0), &out);
+    EXPECT_EQ(sw.inLink(0), &in);
+}
+
+TEST(Switch, SetRouteRejectsOutOfRangePort)
+{
+    Simulation s;
+    Switch sw(s, "sw", 1, SwitchParams{4});
+    EXPECT_THROW(sw.setRoute(99, 4), std::out_of_range);
+    EXPECT_FALSE(sw.hasRoute(99));
+    sw.setRoute(99, 3);
+    EXPECT_EQ(sw.route(99), 3u);
 }
 
 TEST(Fabric, TreeTopologyAllPairsReachable)
