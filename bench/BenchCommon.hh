@@ -17,6 +17,13 @@
  *   --perf               print per-mode wall clock and simulator
  *                        throughput (events/sec) lines, consumed by
  *                        tools/perf_baseline
+ *   --telemetry[=N]      arm packet-lineage telemetry, sampling one
+ *                        packet in N (default 1 = every packet; 0
+ *                        arms the hooks without sampling, for
+ *                        overhead measurement). Adds no events: run
+ *                        fingerprints match untelemetered runs.
+ *   --latency-report <file>  write the per-stage latency lineage
+ *                        tables (requires --telemetry)
  *
  * Fault-injection flags (see DESIGN.md "Fault model and recovery"):
  *   --fault-spec KIND:RATE[:SEED]  arm a rate-driven fault class
@@ -58,6 +65,7 @@
 #include "harness/StatsReport.hh"
 #include "obs/Hooks.hh"
 #include "obs/Metrics.hh"
+#include "obs/Telemetry.hh"
 #include "obs/Trace.hh"
 #include "sim/Types.hh"
 
@@ -75,6 +83,9 @@ struct BenchOptions {
     std::vector<fault::FaultSpec> faultSpecs;
     std::vector<fault::FaultEvent> faultEvents;
     std::uint64_t faultSeed = fault::FaultPlan::defaultSeed;
+    bool telemetry = false;                 //!< --telemetry given
+    std::uint64_t telemetrySampleRate = 1;  //!< 1-in-N (0 = armed only)
+    std::string latencyReportPath;
 };
 
 /** The options parsed by init() (defaults if init was never called). */
@@ -134,6 +145,18 @@ inline FaultState &
 faultState()
 {
     static FaultState state;
+    return state;
+}
+
+/** The process-lifetime telemetry engine (installed by init()). */
+struct TelemetryState {
+    std::unique_ptr<obs::Telemetry> tel;
+};
+
+inline TelemetryState &
+telemetryState()
+{
+    static TelemetryState state;
     return state;
 }
 
@@ -250,6 +273,27 @@ init(int argc, char **argv)
                 std::exit(2);
             }
             opts.faultEvents.push_back(std::move(*event));
+        } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+            opts.telemetry = true;
+            opts.telemetrySampleRate = 1;
+        } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+            const char *arg = argv[i] + 12;
+            char *end = nullptr;
+            opts.telemetrySampleRate = std::strtoull(arg, &end, 0);
+            if (end == arg || *end != '\0') {
+                std::cerr << "error: --telemetry=N needs an integer "
+                             "sample rate, got '"
+                          << arg << "'\n";
+                std::exit(2);
+            }
+            opts.telemetry = true;
+        } else if (std::strcmp(argv[i], "--latency-report") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr
+                    << "error: --latency-report requires a file\n";
+                std::exit(2);
+            }
+            opts.latencyReportPath = argv[++i];
         } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
             if (i + 1 >= argc) {
                 std::cerr << "error: --fault-seed requires a value\n";
@@ -283,6 +327,23 @@ init(int argc, char **argv)
                      opts.tracePath);
     reject_collision("--metrics-csv", opts.metricsCsvPath,
                      "--stats-json", opts.statsJsonPath);
+    reject_collision("--latency-report", opts.latencyReportPath,
+                     "--trace", opts.tracePath);
+    reject_collision("--latency-report", opts.latencyReportPath,
+                     "--stats-json", opts.statsJsonPath);
+    reject_collision("--latency-report", opts.latencyReportPath,
+                     "--metrics-csv", opts.metricsCsvPath);
+
+    if (!opts.latencyReportPath.empty() && !opts.telemetry) {
+        std::cerr << "error: --latency-report requires --telemetry\n";
+        std::exit(2);
+    }
+    if (opts.telemetry) {
+        auto &ts = detail::telemetryState();
+        ts.tel =
+            std::make_unique<obs::Telemetry>(opts.telemetrySampleRate);
+        obs::globalTelemetry() = ts.tel.get();
+    }
 
     if (!opts.tracePath.empty()) {
         auto &ts = detail::traceState();
@@ -403,6 +464,10 @@ runFigure(const std::string &overview_title,
         // Fresh plan per mode: one-shot events re-arm, rate streams
         // restart, so every mode faces the same fault schedule.
         installFaultPlan();
+        // Fresh sampler phase per mode, so every mode samples the
+        // same 1-in-N positions of its packet stream.
+        if (obs::Telemetry *tel = obs::globalTelemetry())
+            tel->beginRun(apps::modeName(apps::allModes[i]));
         const auto t0 = std::chrono::steady_clock::now();
         const std::clock_t c0 = std::clock();
         results[i] = run_one(apps::allModes[i]);
@@ -451,6 +516,18 @@ runFigure(const std::string &overview_title,
         detail::writeStatsJson(opts.statsJsonPath,
                                overview_title.empty() ? breakdown_title
                                                       : overview_title);
+    if (!opts.latencyReportPath.empty()) {
+        std::ofstream out(opts.latencyReportPath);
+        if (out)
+            harness::printLatencyReport(out,
+                                        overview_title.empty()
+                                            ? breakdown_title
+                                            : overview_title,
+                                        results);
+        else
+            std::cerr << "cannot open latency report file "
+                      << opts.latencyReportPath << "\n";
+    }
     if (detail::traceState().tracer)
         detail::traceState().tracer->finish();
 

@@ -43,6 +43,7 @@ HandlerContext::nextChunk()
     HandlerProfile &prof = sw_.profiles_[handlerId_];
     ++prof.chunks;
     prof.bytes += chunk.bytes;
+    liveTelemetry_ = chunk.telemetry;
     co_return chunk;
 }
 
@@ -68,6 +69,8 @@ HandlerContext::compute(std::uint64_t instructions)
 {
     const sim::Delay d = cpu().compute(instructions);
     sw_.profiles_[handlerId_].busyTicks += d.ticks;
+    if (liveTelemetry_)
+        liveTelemetry_->noteHandlerTicks(d.ticks);
     return d;
 }
 
@@ -77,6 +80,8 @@ HandlerContext::access(mem::Addr addr, std::uint64_t bytes,
 {
     const sim::Delay d = cpu().touch(addr, bytes, kind);
     sw_.profiles_[handlerId_].stallTicks += d.ticks;
+    if (liveTelemetry_)
+        liveTelemetry_->noteHandlerTicks(d.ticks);
     return d;
 }
 
@@ -85,6 +90,8 @@ HandlerContext::fetchCode(mem::Addr pc, std::uint64_t bytes)
 {
     const sim::Delay d = cpu().fetchCode(pc, bytes);
     sw_.profiles_[handlerId_].stallTicks += d.ticks;
+    if (liveTelemetry_)
+        liveTelemetry_->noteHandlerTicks(d.ticks);
     return d;
 }
 
@@ -116,6 +123,8 @@ HandlerContext::send(net::NodeId dst, std::uint64_t bytes,
 {
     // Compose the header and hand the buffer to the Send unit.
     sw_.profiles_[handlerId_].busyTicks += sw_.config().sendLatency;
+    if (liveTelemetry_)
+        liveTelemetry_->noteHandlerTicks(sw_.config().sendLatency);
     co_await cpu().busyFor(sw_.config().sendLatency);
     sw_.sendUnit(dst, bytes, active, std::move(payload), tag);
 }
@@ -128,6 +137,8 @@ HandlerContext::postRead(net::NodeId storage, std::uint64_t offset,
     // The small run-time kernel on the switch validates and posts
     // the request (the paper's "modest kernel support").
     sw_.profiles_[handlerId_].busyTicks += sim::us(1);
+    if (liveTelemetry_)
+        liveTelemetry_->noteHandlerTicks(sim::us(1));
     co_await cpu().busyFor(sim::us(1));
     io::IoRequest req;
     req.requestId = ActiveSwitch::nextMessageId_++;
@@ -206,6 +217,13 @@ ActiveSwitch::registerMetrics(obs::MetricsRegistry &m) const
 void
 ActiveSwitch::deliverLocal(net::Arrival &&arrival)
 {
+    // Control packets are consumed inside the recovery protocol —
+    // that is their delivery point. Data packets count as delivered
+    // only once staged (tryStage), past the corrupt/duplicate filter.
+    if (arrival.pkt.telemetry &&
+        arrival.pkt.kind != net::PacketKind::Data)
+        arrival.pkt.telemetry->noteDelivered(sim_.now());
+
     // Recovery protocol first: it consumes ACK/NACK control packets
     // addressed to the switch, corrupted packets and duplicates, so a
     // handler sees every chunk exactly once.
@@ -345,6 +363,17 @@ ActiveSwitch::tryStage(const net::Arrival &arrival)
     chunk.payload = pkt.payload;
     chunk.lastOfMessage = pkt.last;
     chunk.messageBytes = pkt.messageBytes;
+    if (pkt.telemetry) {
+        // Staged into a data buffer = delivered to the active layer;
+        // handler CPU time charged later accrues via the chunk copy.
+        const sim::Tick now = sim_.now();
+        pkt.telemetry->noteDelivered(now);
+        chunk.telemetry = pkt.telemetry;
+        if (auto *tr = sim_.tracer()) {
+            tr->span(name(), "stage", now, now);
+            tr->flowEnd(name(), "lineage", pkt.telemetry->uid, now);
+        }
+    }
     inst.ctx->input_->push(std::move(chunk));
     ++staged_;
     return true;
@@ -504,6 +533,12 @@ ActiveSwitch::sendUnit(net::NodeId dst, std::uint64_t bytes,
         pkt.messageBytes = bytes;
         if (pkt.last)
             pkt.payload = payload;
+        if (auto *tel = obs::globalTelemetry())
+            pkt.telemetry = tel->sample(pkt.src, pkt.dst,
+                                        pkt.active
+                                            ? obs::FlowClass::Active
+                                            : obs::FlowClass::Data,
+                                        sim_.now());
         if (rel_)
             rel_->send(std::move(pkt));
         else

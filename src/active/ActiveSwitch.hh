@@ -53,6 +53,10 @@ struct StreamChunk {
     net::PayloadPtr payload;    //!< rides the last packet of a message
     bool lastOfMessage = false;
     std::uint64_t messageBytes = 0;
+    /** Lineage record of the packet that carried this chunk (null
+     * unless telemetry sampled it): handler CPU time charged while
+     * this chunk is the live input accrues to it. */
+    std::shared_ptr<obs::TelemetryRecord> telemetry;
 };
 
 /** A handler body: a coroutine over its context. */
@@ -164,6 +168,9 @@ class HandlerContext
     std::uint8_t handlerId_;
     std::uint8_t cpuId_;
     std::unique_ptr<sim::Channel<StreamChunk>> input_;
+    /** Lineage of the most recent chunk: CPU time charged between
+     * chunks accrues to the packet that triggered it. */
+    std::shared_ptr<obs::TelemetryRecord> liveTelemetry_;
 };
 
 /** A SAN switch with the active hardware attached. */

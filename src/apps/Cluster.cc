@@ -181,6 +181,12 @@ Cluster::collect(Mode mode)
     }
     stats.fingerprint = fingerprint_.value();
 
+    // Fold the lineage records into their histograms now that the run
+    // is quiescent. Like FaultStats, never fingerprinted: telemetry
+    // observes the event stream without perturbing it.
+    if (obs::Telemetry *tel = obs::globalTelemetry())
+        stats.telemetry = tel->finishRun();
+
     if (clusterObserver())
         clusterObserver()(*this, mode);
     return stats;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cpu/Cpu.hh"
+#include "obs/Telemetry.hh"
 #include "sim/Types.hh"
 
 namespace san::apps {
@@ -127,6 +128,12 @@ struct RunStats {
     /** Fault/recovery counters; all-zero without a fault plan. NOT
      * folded into the fingerprint (the event stream already is). */
     FaultStats faults;
+
+    /** Packet-lineage latency telemetry; inactive (and empty) unless
+     * --telemetry armed the collector. Like FaultStats, NOT folded
+     * into the fingerprint: telemetry observes the event stream, it
+     * never perturbs it. */
+    obs::TelemetryStats telemetry;
 
     /** Mean host utilization: (1 - idle/total). */
     double

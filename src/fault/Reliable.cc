@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/Telemetry.hh"
 #include "sim/Log.hh"
 
 namespace san::fault {
@@ -50,6 +51,10 @@ ReliableChannel::sendControl(net::PacketKind kind, net::NodeId dst,
     pkt.flowSeq = seq;
     pkt.tag = tagControl;
     pkt.checksum = net::packetChecksum(pkt);
+    if (auto *tel = obs::globalTelemetry())
+        pkt.telemetry = tel->sample(pkt.src, pkt.dst,
+                                    obs::FlowClass::Control,
+                                    sim_.now());
     if (kind == net::PacketKind::Ack)
         ++acksSent_;
     else
@@ -166,6 +171,10 @@ ReliableChannel::retransmitFrom(TxFlow &flow, std::uint32_t seq)
             continue;
         ++retransmits_;
         instant("retransmit");
+        // The window copy shares the original's lineage record, so
+        // the retransmit count accumulates on the packet's history.
+        if (pkt.telemetry)
+            pkt.telemetry->noteRetransmit();
         forward_(pkt); // the stored copy is clean (never corrupted)
     }
 }

@@ -115,6 +115,109 @@ printHandlerProfile(std::ostream &os, const std::string &title,
     }
 }
 
+namespace {
+
+/** Integer nanoseconds (truncated) — byte-stable across compilers. */
+std::uint64_t
+toNs(san::sim::Tick t)
+{
+    return t / 1000;
+}
+
+void
+printLatencyRow(std::ostream &os, const std::string &label,
+                const obs::LatencyHistogram &h)
+{
+    os << std::left << std::setw(26) << label << std::right
+       << std::setw(10) << h.samples() << std::setw(12)
+       << toNs(h.percentile(5000)) << std::setw(12)
+       << toNs(h.percentile(9000)) << std::setw(12)
+       << toNs(h.percentile(9900)) << std::setw(12)
+       << toNs(h.percentile(9990)) << std::setw(12) << toNs(h.max())
+       << '\n';
+}
+
+} // namespace
+
+void
+printLatencyReport(std::ostream &os, const std::string &title,
+                   const ModeResults &results)
+{
+    bool any = false;
+    for (const RunStats &r : results)
+        any = any || r.telemetry.active;
+    if (!any)
+        return;
+
+    os << "== " << title << " (latency lineage) ==\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const obs::TelemetryStats &t = results[i].telemetry;
+        if (!t.active)
+            continue;
+        os << "-- " << modeName(allModes[i]) << ": sampleRate "
+           << t.sampleRate << ", sampled " << t.recordsSampled
+           << ", delivered " << t.recordsDelivered << ", inFlight "
+           << t.recordsInFlight << ", retransmits "
+           << t.retransmitsSampled << ", stampsDropped "
+           << t.stampsDropped << " --\n";
+        os << std::left << std::setw(26) << "class.stage" << std::right
+           << std::setw(10) << "samples" << std::setw(12) << "p50(ns)"
+           << std::setw(12) << "p90(ns)" << std::setw(12) << "p99(ns)"
+           << std::setw(12) << "p99.9(ns)" << std::setw(12)
+           << "max(ns)" << '\n';
+        for (std::size_t fc = 0; fc < obs::kFlowClassCount; ++fc) {
+            for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+                const auto &h =
+                    t.stageHist(static_cast<obs::FlowClass>(fc),
+                                static_cast<obs::Stage>(s));
+                if (h.samples() == 0)
+                    continue;
+                printLatencyRow(
+                    os,
+                    std::string(obs::flowClassName(
+                        static_cast<obs::FlowClass>(fc))) +
+                        "." +
+                        obs::stageName(static_cast<obs::Stage>(s)),
+                    h);
+            }
+        }
+        for (std::size_t fc = 0; fc < obs::kFlowClassCount; ++fc) {
+            for (std::size_t hi = 0; hi < obs::kMaxTelemetryHops;
+                 ++hi) {
+                for (std::size_t s = 0; s < obs::kHopStageCount;
+                     ++s) {
+                    const auto &h = t.hopHist(
+                        static_cast<obs::FlowClass>(fc), hi,
+                        static_cast<obs::HopStage>(s));
+                    if (h.samples() == 0)
+                        continue;
+                    printLatencyRow(
+                        os,
+                        std::string(obs::flowClassName(
+                            static_cast<obs::FlowClass>(fc))) +
+                            ".hop" + std::to_string(hi) + "." +
+                            obs::hopStageName(
+                                static_cast<obs::HopStage>(s)),
+                        h);
+                }
+            }
+        }
+        if (!t.topByVolume.empty()) {
+            os << "top flows by volume:\n";
+            for (const auto &f : t.topByVolume)
+                os << "  " << f.src << "->" << f.dst << " bytes "
+                   << f.bytes << " maxError " << f.error << '\n';
+        }
+        if (!t.worstLatency.empty()) {
+            os << "worst sampled end-to-end latency:\n";
+            for (const auto &f : t.worstLatency)
+                os << "  " << f.src << "->" << f.dst << " samples "
+                   << f.samples << " worst(ns) " << toNs(f.worst)
+                   << " mean(ns) " << toNs(f.mean) << '\n';
+        }
+    }
+}
+
 bool
 checksumsAgree(const ModeResults &results)
 {

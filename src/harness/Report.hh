@@ -41,6 +41,18 @@ void printBreakdown(std::ostream &os, const std::string &title,
 void printHandlerProfile(std::ostream &os, const std::string &title,
                          const ModeResults &results);
 
+/**
+ * Print the per-packet latency-lineage report: one table per mode
+ * that ran with telemetry, with per-(flow class, stage) sample
+ * counts and p50/p90/p99/p99.9 in integer nanoseconds, a per-hop
+ * residency table, the top-K flows by volume and the K worst-latency
+ * flows. All numbers are integers derived from tick histograms, so
+ * the output is byte-stable across repeats and compilers (a golden
+ * test holds it to that). Prints nothing when no mode has telemetry.
+ */
+void printLatencyReport(std::ostream &os, const std::string &title,
+                        const ModeResults &results);
+
 /** Consistency check: every mode computed the same answer. */
 bool checksumsAgree(const ModeResults &results);
 

@@ -4,6 +4,7 @@
 
 #include "fault/FaultPlan.hh"
 #include "fault/Reliable.hh"
+#include "obs/Telemetry.hh"
 
 namespace san::harness {
 
@@ -72,6 +73,22 @@ dumpTlbJson(obs::JsonWriter &json, mem::Tlb &t)
     json.beginObject();
     json.kv("hits", t.hits());
     json.kv("misses", t.misses());
+    json.endObject();
+}
+
+/** One latency histogram as {samples, minPs, maxPs, p50Ps ...}. */
+void
+dumpLatencyHistJson(obs::JsonWriter &json,
+                    const obs::LatencyHistogram &h)
+{
+    json.beginObject();
+    json.kv("samples", h.samples());
+    json.kv("minPs", h.min());
+    json.kv("maxPs", h.max());
+    json.kv("p50Ps", h.percentile(5000));
+    json.kv("p90Ps", h.percentile(9000));
+    json.kv("p99Ps", h.percentile(9900));
+    json.kv("p999Ps", h.percentile(9990));
     json.endObject();
 }
 
@@ -426,6 +443,85 @@ dumpClusterStatsJson(obs::JsonWriter &json, apps::Cluster &cluster)
         json.kv("packetsCorrupted", corrupted);
         json.kv("creditsLost", credits_lost);
         json.endObject();
+        json.endObject();
+    }
+
+    // The telemetry object only exists when --telemetry armed the
+    // collector, keeping plain stats JSON byte-identical to the seed
+    // goldens. The fold ran in Cluster::collect just before the
+    // observer fired, so lastRun() describes this run.
+    if (const obs::Telemetry *tel = obs::globalTelemetry()) {
+        const obs::TelemetryStats &t = tel->lastRun();
+        json.key("telemetry").beginObject();
+        json.kv("sampleRate", t.sampleRate);
+        json.kv("recordsSampled", t.recordsSampled);
+        json.kv("recordsDelivered", t.recordsDelivered);
+        json.kv("recordsInFlight", t.recordsInFlight);
+        json.kv("retransmitsSampled", t.retransmitsSampled);
+        json.kv("stampsDropped", t.stampsDropped);
+        json.kv("packetsObserved", t.packetsObserved);
+        json.kv("bytesObserved", t.bytesObserved);
+        // Only populated (flow class, stage) cells appear: keys stay
+        // stable across repeats because the fold is deterministic.
+        json.key("stages").beginObject();
+        for (std::size_t fc = 0; fc < obs::kFlowClassCount; ++fc) {
+            for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+                const auto &h =
+                    t.stageHist(static_cast<obs::FlowClass>(fc),
+                                static_cast<obs::Stage>(s));
+                if (h.samples() == 0)
+                    continue;
+                json.key(std::string(obs::flowClassName(
+                             static_cast<obs::FlowClass>(fc))) +
+                         "." +
+                         obs::stageName(static_cast<obs::Stage>(s)));
+                dumpLatencyHistJson(json, h);
+            }
+        }
+        json.endObject();
+        json.key("hops").beginObject();
+        for (std::size_t fc = 0; fc < obs::kFlowClassCount; ++fc) {
+            for (std::size_t hi = 0; hi < obs::kMaxTelemetryHops;
+                 ++hi) {
+                for (std::size_t s = 0; s < obs::kHopStageCount;
+                     ++s) {
+                    const auto &h = t.hopHist(
+                        static_cast<obs::FlowClass>(fc), hi,
+                        static_cast<obs::HopStage>(s));
+                    if (h.samples() == 0)
+                        continue;
+                    json.key(
+                        std::string(obs::flowClassName(
+                            static_cast<obs::FlowClass>(fc))) +
+                        ".hop" + std::to_string(hi) + "." +
+                        obs::hopStageName(
+                            static_cast<obs::HopStage>(s)));
+                    dumpLatencyHistJson(json, h);
+                }
+            }
+        }
+        json.endObject();
+        json.key("topByVolume").beginArray();
+        for (const auto &f : t.topByVolume) {
+            json.beginObject();
+            json.kv("src", static_cast<std::uint64_t>(f.src));
+            json.kv("dst", static_cast<std::uint64_t>(f.dst));
+            json.kv("bytes", f.bytes);
+            json.kv("maxError", f.error);
+            json.endObject();
+        }
+        json.endArray();
+        json.key("worstLatency").beginArray();
+        for (const auto &f : t.worstLatency) {
+            json.beginObject();
+            json.kv("src", static_cast<std::uint64_t>(f.src));
+            json.kv("dst", static_cast<std::uint64_t>(f.dst));
+            json.kv("samples", f.samples);
+            json.kv("worstPs", f.worst);
+            json.kv("meanPs", f.mean);
+            json.endObject();
+        }
+        json.endArray();
         json.endObject();
     }
 

@@ -56,6 +56,12 @@ Adapter::sendMessage(NodeId dst, std::uint64_t bytes,
         pkt.messageBytes = bytes;
         if (pkt.last)
             pkt.payload = payload;
+        if (auto *tel = obs::globalTelemetry())
+            pkt.telemetry = tel->sample(pkt.src, pkt.dst,
+                                        pkt.active
+                                            ? obs::FlowClass::Active
+                                            : obs::FlowClass::Data,
+                                        sim_.now());
         bytesOut_ += chunk;
         if (rel_)
             rel_->send(std::move(pkt));
@@ -73,6 +79,14 @@ Adapter::receive(Arrival &&arrival)
     // memory), so the credit is returned right away.
     in_->returnCredit();
 
+    // Control packets are consumed (delivered) inside the recovery
+    // protocol below; data packets count as delivered only once they
+    // clear it — a corrupt copy that gets dropped must not stamp the
+    // lineage, its clean retransmission will.
+    if (arrival.pkt.telemetry &&
+        arrival.pkt.kind != PacketKind::Data)
+        arrival.pkt.telemetry->noteDelivered(sim_.now());
+
     // Recovery protocol first: control packets, corrupted packets and
     // duplicates never reach reassembly (exactly-once delivery).
     if (rel_ && rel_->onArrival(arrival))
@@ -80,6 +94,16 @@ Adapter::receive(Arrival &&arrival)
 
     Packet &pkt = arrival.pkt;
     bytesIn_ += pkt.payloadBytes;
+    if (pkt.telemetry) {
+        // Delivered when the last byte has DMA'd in, matching the
+        // completion time reassembly reports.
+        pkt.telemetry->noteDelivered(arrival.end);
+        if (auto *tr = sim_.tracer()) {
+            tr->span(name_, "deliver", arrival.end, arrival.end);
+            tr->flowEnd(name_, "lineage", pkt.telemetry->uid,
+                        arrival.end);
+        }
+    }
 
     auto &part = partial_[pkt.messageId];
     if (part.received == 0) {

@@ -83,6 +83,8 @@ class Link
     void
     send(Packet pkt)
     {
+        if (pkt.telemetry)
+            pkt.telemetry->noteTxEnqueue(sim_.now());
         queue_.push_back(std::move(pkt));
         pump();
     }
@@ -195,6 +197,24 @@ class Link
             const sim::Tick end = first + ser;
             if (auto *tr = sim_.tracer())
                 tr->span(name_, "packet", start, end);
+            if (pkt.telemetry) {
+                // Queue + credit-stall wait ends at the transmission
+                // tick; the stamp lands at `start` for the same
+                // reason the fault checks above do.
+                pkt.telemetry->noteTxStart(start);
+                if (auto *tr = sim_.tracer()) {
+                    // The flow point sits inside this link's
+                    // "packet" span, which anchors the arrow chain.
+                    if (!pkt.telemetry->flowTraced) {
+                        pkt.telemetry->flowTraced = true;
+                        tr->flowBegin(name_, "lineage",
+                                      pkt.telemetry->uid, start);
+                    } else {
+                        tr->flowStep(name_, "lineage",
+                                     pkt.telemetry->uid, start);
+                    }
+                }
+            }
             // Virtual cut-through: the receiver sees the packet as
             // soon as the header is in, and may begin routing or
             // processing while the payload is still streaming.

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/Telemetry.hh"
 #include "sim/Types.hh"
 
 namespace san::net {
@@ -83,6 +84,16 @@ struct Packet {
      * and triggers retransmission. */
     bool corrupt = false;
     /** @} */
+
+    /**
+     * In-band telemetry record, null unless --telemetry sampled this
+     * packet at birth. Shared (not per-copy) on purpose: the clean
+     * copy the reliable channel retransmits stamps the same lineage,
+     * so retransmit counts and the extra hops accumulate. Not part
+     * of the wire image: excluded from packetChecksum(), carries no
+     * bytes, and never influences timing.
+     */
+    std::shared_ptr<obs::TelemetryRecord> telemetry;
 
     std::uint32_t
     wireBytes() const

@@ -113,6 +113,10 @@ Switch::inject(Packet pkt)
     // Local injections enter the policy on the virtual local input
     // port: the Send unit contends for outputs like any input would.
     const sim::Tick now = sim_.now();
+    if (auto *tel = obs::globalTelemetry())
+        tel->countPacket(pkt.src, pkt.dst, pkt.wireBytes());
+    if (pkt.telemetry)
+        pkt.telemetry->noteSwitchIngress(id_, now);
     policy_->ingress(params_.ports, port,
                      Arrival{std::move(pkt), now, now});
 }
@@ -128,6 +132,9 @@ Switch::receive(unsigned port, Arrival &&arrival)
     sim_.events().after(
         params_.routingLatency,
         [this, port, a = std::move(arrival)]() mutable {
+            if (auto *tel = obs::globalTelemetry())
+                tel->countPacket(a.pkt.src, a.pkt.dst,
+                                 a.pkt.wireBytes());
             if (a.pkt.dst == id_) {
                 ports_[port].in->returnCredit();
                 ++local_;
@@ -135,6 +142,8 @@ Switch::receive(unsigned port, Arrival &&arrival)
                 return;
             }
             ++routed_;
+            if (a.pkt.telemetry)
+                a.pkt.telemetry->noteSwitchIngress(id_, sim_.now());
             const unsigned out_port = route(a.pkt.dst);
             policy_->ingress(port, out_port, std::move(a));
         });

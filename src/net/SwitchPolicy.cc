@@ -4,6 +4,7 @@
 #include <cassert>
 #include <deque>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "net/Switch.hh"
@@ -130,6 +131,21 @@ QueueingPolicy::forward(unsigned in_port, unsigned out_port, Packet &&pkt)
     ++counters_.forwarded;
     fwdFrom_[in_port] += 1;
     fwdBytesFrom_[in_port] += pkt.wireBytes();
+    if (pkt.telemetry) {
+        // The single egress choke point for every policy: the hop
+        // closes here. Passthrough ingress never stamped an
+        // admission, which noteEgress resolves to the ingress tick
+        // (zero policy wait), matching the pre-policy switch.
+        const sim::Tick now = simulation().now();
+        pkt.telemetry->noteEgress(now);
+        if (auto *tr = simulation().tracer()) {
+            // Zero-duration anchor slice so the lineage arrow has a
+            // slice to bind to on the switch's track.
+            tr->span(sw_.name(), "forward", now, now);
+            tr->flowStep(sw_.name(), "lineage", pkt.telemetry->uid,
+                         now);
+        }
+    }
     out->send(std::move(pkt));
 }
 
@@ -194,6 +210,7 @@ QueueingPolicy::registerMetrics(obs::MetricsRegistry &m,
           [this] { return static_cast<double>(counters_.holBlocked); });
     m.add(prefix + ".arbRounds", obs::GaugeKind::Rate,
           [this] { return static_cast<double>(counters_.arbRounds); });
+    registerDetailMetrics(m);
 }
 
 namespace {
@@ -273,6 +290,8 @@ class CentralOutputPolicy final : public QueueingPolicy
         counters_.peakOccupancy =
             std::max<std::uint64_t>(counters_.peakOccupancy, occ_);
         creditReturn(c.in);
+        if (c.pkt.telemetry)
+            c.pkt.telemetry->noteAdmitted(simulation().now());
         const unsigned out = c.out;
         fifo_[out].push_back(std::move(c));
         serve(out);
@@ -405,6 +424,22 @@ class VoqIslipPolicy final : public QueueingPolicy
 
     std::uint64_t maxGrantWaitRounds() const override { return maxWait_; }
 
+    void
+    registerDetailMetrics(obs::MetricsRegistry &m) const override
+    {
+        // One gauge per input: cells buffered across that input's
+        // VOQs (staged cells included — they are that input's
+        // backlog too). Shows which ingress a hotspot piles onto.
+        for (unsigned i = 0; i < inputCount(); ++i)
+            m.add(sw_.name() + ".voq.in" + std::to_string(i),
+                  obs::GaugeKind::Gauge, [this, i] {
+                      std::size_t n = staged_[i].size();
+                      for (unsigned o = 0; o < portCount(); ++o)
+                          n += voq_[i * portCount() + o].size();
+                      return static_cast<double>(n);
+                  });
+    }
+
   private:
     std::deque<Cell> &
     voq(unsigned in, unsigned out)
@@ -420,6 +455,8 @@ class VoqIslipPolicy final : public QueueingPolicy
         counters_.peakOccupancy =
             std::max<std::uint64_t>(counters_.peakOccupancy, occ_);
         creditReturn(c.in);
+        if (c.pkt.telemetry)
+            c.pkt.telemetry->noteAdmitted(simulation().now());
         const unsigned in = c.in, out = c.out;
         voq(in, out).push_back(std::move(c));
     }
@@ -708,6 +745,22 @@ class CrosspointPolicy final : public QueueingPolicy
         return n;
     }
 
+    void
+    registerDetailMetrics(obs::MetricsRegistry &m) const override
+    {
+        // One gauge per output: cells across that output's column of
+        // crosspoint buffers. Shows which egress a hotspot drains
+        // through.
+        for (unsigned o = 0; o < portCount(); ++o)
+            m.add(sw_.name() + ".xpoint.out" + std::to_string(o),
+                  obs::GaugeKind::Gauge, [this, o] {
+                      std::size_t n = 0;
+                      for (unsigned i = 0; i < inputCount(); ++i)
+                          n += xq_[i * portCount() + o].size();
+                      return static_cast<double>(n);
+                  });
+    }
+
   private:
     std::deque<Cell> &
     xq(unsigned in, unsigned out)
@@ -723,6 +776,8 @@ class CrosspointPolicy final : public QueueingPolicy
         counters_.peakOccupancy =
             std::max<std::uint64_t>(counters_.peakOccupancy, occ_);
         creditReturn(c.in);
+        if (c.pkt.telemetry)
+            c.pkt.telemetry->noteAdmitted(simulation().now());
         const unsigned out = c.out;
         xq(c.in, out).push_back(std::move(c));
         serve(out);

@@ -181,10 +181,27 @@ class QueueingPolicy
 
     /**
      * Register this policy's gauges under @p prefix: occupancy and
-     * staging depth, plus forward/grant/HOL-block rates.
+     * staging depth, plus forward/grant/HOL-block rates. Also calls
+     * registerDetailMetrics() so structured policies expose their
+     * per-port buffer occupancies.
      */
     void registerMetrics(obs::MetricsRegistry &m,
                          const std::string &prefix) const;
+
+    /**
+     * Per-port buffer gauges, named after the owning switch: the VOQ
+     * policy registers `<switch>.voq.in<i>` (cells buffered per
+     * input) and the crosspoint policy `<switch>.xpoint.out<o>`
+     * (cells per output column), so --metrics-csv timelines show
+     * *where* a structured fabric's backlog sits, not just its
+     * total. Default: nothing (central policies have only the shared
+     * occupancy already registered).
+     */
+    virtual void
+    registerDetailMetrics(obs::MetricsRegistry &m) const
+    {
+        (void)m;
+    }
 
     /**
      * Called by Switch::attachPort once @p port's links exist.

@@ -1,0 +1,176 @@
+#include "obs/Telemetry.hh"
+
+#include <map>
+
+namespace san::obs {
+
+const char *
+flowClassName(FlowClass fc)
+{
+    switch (fc) {
+    case FlowClass::Data:
+        return "data";
+    case FlowClass::Active:
+        return "active";
+    case FlowClass::Control:
+        return "control";
+    }
+    return "?";
+}
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+    case Stage::TxQueue:
+        return "txQueue";
+    case Stage::PolicyWait:
+        return "policyWait";
+    case Stage::SwitchQueue:
+        return "switchQueue";
+    case Stage::HandlerCpu:
+        return "handlerCpu";
+    case Stage::EndToEnd:
+        return "endToEnd";
+    }
+    return "?";
+}
+
+const char *
+hopStageName(HopStage s)
+{
+    switch (s) {
+    case HopStage::Residency:
+        return "residency";
+    case HopStage::PolicyWait:
+        return "policyWait";
+    case HopStage::QueueWait:
+        return "queueWait";
+    }
+    return "?";
+}
+
+void
+Telemetry::beginRun(std::string label)
+{
+    label_ = std::move(label);
+    seen_ = 0;
+    nextUid_ = 1;
+    packetsObserved_ = 0;
+    bytesObserved_ = 0;
+    records_.clear();
+    sketch_.reset();
+}
+
+std::shared_ptr<TelemetryRecord>
+Telemetry::sample(std::uint32_t src, std::uint32_t dst, FlowClass fc,
+                  sim::Tick now)
+{
+    if (rate_ == 0)
+        return nullptr;
+    if (seen_++ % rate_ != 0)
+        return nullptr;
+    auto rec = std::make_shared<TelemetryRecord>();
+    rec->uid = nextUid_++;
+    rec->flowClass = fc;
+    rec->src = src;
+    rec->dst = dst;
+    rec->bornAt = now;
+    records_.push_back(rec);
+    return rec;
+}
+
+const TelemetryStats &
+Telemetry::finishRun()
+{
+    last_ = TelemetryStats{};
+    last_.active = true;
+    last_.sampleRate = rate_;
+    last_.packetsObserved = packetsObserved_;
+    last_.bytesObserved = bytesObserved_;
+
+    struct FlowLat {
+        std::uint64_t samples = 0;
+        sim::Tick worst = 0;
+        std::uint64_t sum = 0;
+    };
+    std::map<std::uint64_t, FlowLat> flows;
+
+    // Records fold in creation (uid) order: byte-stable output.
+    for (const auto &rec : records_) {
+        ++last_.recordsSampled;
+        last_.retransmitsSampled += rec->retransmits;
+        last_.stampsDropped += rec->stampsDropped;
+        if (!rec->delivered) {
+            ++last_.recordsInFlight;
+            continue;
+        }
+        ++last_.recordsDelivered;
+        const auto fc = static_cast<std::size_t>(rec->flowClass);
+        const sim::Tick e2e = rec->deliveredAt > rec->bornAt
+                                  ? rec->deliveredAt - rec->bornAt
+                                  : 0;
+        auto &stages = last_.stage[fc];
+        stages[static_cast<std::size_t>(Stage::EndToEnd)].add(e2e);
+        stages[static_cast<std::size_t>(Stage::TxQueue)].add(
+            rec->stage[static_cast<std::size_t>(Stage::TxQueue)]);
+        stages[static_cast<std::size_t>(Stage::PolicyWait)].add(
+            rec->stage[static_cast<std::size_t>(Stage::PolicyWait)]);
+        stages[static_cast<std::size_t>(Stage::SwitchQueue)].add(
+            rec->stage[static_cast<std::size_t>(Stage::SwitchQueue)]);
+        // Handler CPU only means something for packets a handler
+        // actually processed; folding zeros for pure transit
+        // traffic would bury the signal.
+        const sim::Tick hcpu =
+            rec->stage[static_cast<std::size_t>(Stage::HandlerCpu)];
+        if (hcpu > 0)
+            stages[static_cast<std::size_t>(Stage::HandlerCpu)].add(
+                hcpu);
+        for (std::size_t h = 0; h < rec->hopCount; ++h) {
+            const TelemetryHop &hop = rec->hops[h];
+            auto &hh = last_.hop[fc][h];
+            hh[static_cast<std::size_t>(HopStage::Residency)].add(
+                hop.egress - hop.ingress);
+            hh[static_cast<std::size_t>(HopStage::PolicyWait)].add(
+                hop.admitted - hop.ingress);
+            hh[static_cast<std::size_t>(HopStage::QueueWait)].add(
+                hop.egress - hop.admitted);
+        }
+        FlowLat &fl = flows[FlowSketch::keyOf(rec->src, rec->dst)];
+        ++fl.samples;
+        fl.worst = std::max(fl.worst, e2e);
+        fl.sum += e2e;
+    }
+
+    for (const FlowSketch::Entry &e : sketch_.top(kTopFlows))
+        last_.topByVolume.push_back(TelemetryFlowVolume{
+            static_cast<std::uint32_t>(e.key >> 32),
+            static_cast<std::uint32_t>(e.key), e.bytes, e.error});
+
+    std::vector<std::pair<std::uint64_t, FlowLat>> byLat(flows.begin(),
+                                                         flows.end());
+    std::sort(byLat.begin(), byLat.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.worst != b.second.worst)
+                      return a.second.worst > b.second.worst;
+                  return a.first < b.first;
+              });
+    if (byLat.size() > kTopFlows)
+        byLat.resize(kTopFlows);
+    for (const auto &[key, fl] : byLat)
+        last_.worstLatency.push_back(TelemetryFlowLatency{
+            static_cast<std::uint32_t>(key >> 32),
+            static_cast<std::uint32_t>(key), fl.samples, fl.worst,
+            fl.samples ? fl.sum / fl.samples : 0});
+
+    return last_;
+}
+
+Telemetry *&
+globalTelemetry()
+{
+    static Telemetry *telemetry = nullptr;
+    return telemetry;
+}
+
+} // namespace san::obs

@@ -137,6 +137,39 @@ ChromeTracer::asyncEnd(const std::string &track, const char *name,
     os_ << ",\"id\":" << id << "}";
 }
 
+// Flow events ("s"/"t"/"f") bind to the slice enclosing them on
+// their track, so callers emit them inside (or as zero-duration
+// anchors alongside) an "X" span at the same timestamp. The "f"
+// event carries bp:"e" — bind to the enclosing slice — which is
+// what Perfetto needs to draw the terminating arrow head.
+
+void
+ChromeTracer::flowBegin(const std::string &track, const char *name,
+                        std::uint64_t id, sim::Tick at)
+{
+    const int tid = tidFor(track);
+    header("s", name, tid, at);
+    os_ << ",\"id\":" << id << "}";
+}
+
+void
+ChromeTracer::flowStep(const std::string &track, const char *name,
+                       std::uint64_t id, sim::Tick at)
+{
+    const int tid = tidFor(track);
+    header("t", name, tid, at);
+    os_ << ",\"id\":" << id << "}";
+}
+
+void
+ChromeTracer::flowEnd(const std::string &track, const char *name,
+                      std::uint64_t id, sim::Tick at)
+{
+    const int tid = tidFor(track);
+    header("f", name, tid, at);
+    os_ << ",\"bp\":\"e\",\"id\":" << id << "}";
+}
+
 void
 ChromeTracer::counter(const std::string &track, const char *name,
                       sim::Tick at, double value)

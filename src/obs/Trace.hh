@@ -58,6 +58,12 @@ class ChromeTracer : public sim::Tracer
                   std::uint64_t id, sim::Tick at) override;
     void counter(const std::string &track, const char *name,
                  sim::Tick at, double value) override;
+    void flowBegin(const std::string &track, const char *name,
+                   std::uint64_t id, sim::Tick at) override;
+    void flowStep(const std::string &track, const char *name,
+                  std::uint64_t id, sim::Tick at) override;
+    void flowEnd(const std::string &track, const char *name,
+                 std::uint64_t id, sim::Tick at) override;
 
   private:
     int tidFor(const std::string &track);

@@ -113,6 +113,34 @@ class Histogram
         return lo_ + width * static_cast<double>(i);
     }
 
+    /**
+     * Exact-from-bucket percentile for @p p in (0, 1]: the upper
+     * edge of the bucket holding the ceil(p * count)-th sample, in
+     * under/in-range/overflow order. Underflow resolves to lo() and
+     * overflow to the observed max, so the result is always a value
+     * the histogram actually saw the neighbourhood of. Returns 0
+     * with no samples.
+     */
+    double
+    percentile(double p) const
+    {
+        const std::uint64_t n = total_.count();
+        if (n == 0)
+            return 0;
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            p * static_cast<double>(n) + 0.9999999999);
+        rank = std::max<std::uint64_t>(1, std::min(rank, n));
+        std::uint64_t cum = counts_.front();
+        if (cum >= rank)
+            return lo_;
+        for (std::size_t i = 0; i + 2 < counts_.size(); ++i) {
+            cum += counts_[i + 1];
+            if (cum >= rank)
+                return std::min(edge(i + 1), total_.max());
+        }
+        return total_.max();
+    }
+
   private:
     double lo_, hi_;
     std::vector<std::uint64_t> counts_;
@@ -201,6 +229,12 @@ class StatGroup
                << name_ << '.' << n << ".underflow " << h.underflow()
                << '\n'
                << name_ << '.' << n << ".overflow " << h.overflow()
+               << '\n';
+            os << name_ << '.' << n << ".p50 " << h.percentile(0.50)
+               << '\n'
+               << name_ << '.' << n << ".p90 " << h.percentile(0.90)
+               << '\n'
+               << name_ << '.' << n << ".p99 " << h.percentile(0.99)
                << '\n';
             for (std::size_t i = 0; i < h.buckets(); ++i)
                 os << name_ << '.' << n << ".bucket" << i << ' '

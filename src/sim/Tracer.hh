@@ -65,6 +65,46 @@ class Tracer
         (void)at;
         (void)value;
     }
+
+    /**
+     * @{ Flow arrows: a chain of points matched by @p id, drawn by
+     * trace viewers as arrows between the slices they land on
+     * (flowBegin starts a chain, flowStep continues it, flowEnd
+     * terminates it). Used for per-packet latency lineage across
+     * adapter -> link -> switch -> handler -> destination tracks.
+     * Defaulted to no-ops, like counter(), so span-only exporters
+     * need not care.
+     */
+    virtual void
+    flowBegin(const std::string &track, const char *name,
+              std::uint64_t id, Tick at)
+    {
+        (void)track;
+        (void)name;
+        (void)id;
+        (void)at;
+    }
+
+    virtual void
+    flowStep(const std::string &track, const char *name,
+             std::uint64_t id, Tick at)
+    {
+        (void)track;
+        (void)name;
+        (void)id;
+        (void)at;
+    }
+
+    virtual void
+    flowEnd(const std::string &track, const char *name,
+            std::uint64_t id, Tick at)
+    {
+        (void)track;
+        (void)name;
+        (void)id;
+        (void)at;
+    }
+    /** @} */
 };
 
 } // namespace san::sim
