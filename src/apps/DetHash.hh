@@ -31,6 +31,22 @@ detChance(std::uint64_t seed, std::uint64_t index, double p)
                0x1.0p-53 < p;
 }
 
+/**
+ * 5-tuple connection hash: the two packed words of a
+ * net::FiveTuple (src/dst IP in @p w0, ports + protocol in @p w1)
+ * chained through detHash so both the host-side and switch-side load
+ * balancer code derive bit-identical connection signatures. One
+ * avalanche per word — cheap enough for the 500 MHz switch CPU —
+ * and the result is the *only* flow identity the lb subsystem uses,
+ * so a (vanishingly unlikely) 64-bit collision still yields a
+ * consistent assignment everywhere.
+ */
+constexpr std::uint64_t
+detTupleHash(std::uint64_t seed, std::uint64_t w0, std::uint64_t w1)
+{
+    return detHash(detHash(seed, w0), w1);
+}
+
 } // namespace san::apps
 
 #endif // SAN_APPS_DET_HASH_HH

@@ -95,6 +95,34 @@ struct FaultStats {
     std::uint64_t flowAborts = 0;  //!< flows past the retry budget
 };
 
+/**
+ * Load-balancer counters of one run. All zero — and `active` false —
+ * unless the run drove the lb subsystem (src/lb). Like FaultStats,
+ * NOT folded into the fingerprint: the event stream already is.
+ */
+struct LbStats {
+    bool active = false;            //!< an lb workload drove this run
+    std::uint64_t lookups = 0;      //!< connection-table lookups
+    std::uint64_t hotHits = 0;      //!< resolved in the D$ hot index
+    std::uint64_t tableHits = 0;    //!< resolved in the full table
+    std::uint64_t misses = 0;       //!< unknown connection
+    std::uint64_t inserts = 0;      //!< connections admitted
+    std::uint64_t insertFailures = 0; //!< table full / probe cap hit
+    std::uint64_t removes = 0;      //!< connections retired (FIN)
+    std::uint64_t forwarded = 0;    //!< packets sent to a backend
+    std::uint64_t punts = 0;        //!< packets punted to the host
+    std::uint64_t migrations = 0;   //!< flows reassigned (backend died)
+    std::uint64_t flowsTracked = 0; //!< live entries at end of run
+    std::uint64_t peakFlows = 0;    //!< peak live entries
+    std::uint64_t backendDownEvents = 0;
+    std::uint64_t backendUpEvents = 0;
+    std::uint64_t hotBytes = 0;     //!< hot-index footprint (<= 1 KB)
+    std::uint64_t tableBytes = 0;   //!< full-table footprint
+    double occupancy = 0.0;         //!< live entries / table capacity
+    /** Packets each backend received from the balancer. */
+    std::vector<std::uint64_t> backendPackets;
+};
+
 /** Results of one benchmark run in one mode. */
 struct RunStats {
     Mode mode = Mode::Normal;
@@ -134,6 +162,10 @@ struct RunStats {
      * into the fingerprint: telemetry observes the event stream, it
      * never perturbs it. */
     obs::TelemetryStats telemetry;
+
+    /** Load-balancer counters; inactive unless an lb workload ran.
+     * NOT folded into the fingerprint (same rule as FaultStats). */
+    LbStats lb;
 
     /** Mean host utilization: (1 - idle/total). */
     double

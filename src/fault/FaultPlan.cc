@@ -23,6 +23,8 @@ faultKindName(FaultKind kind)
       case FaultKind::HandlerCrash: return "handler-crash";
       case FaultKind::DiskSpike: return "disk-spike";
       case FaultKind::DiskTimeout: return "disk-timeout";
+      case FaultKind::BackendDown: return "backend-down";
+      case FaultKind::BackendUp: return "backend-up";
     }
     return "?";
 }
@@ -122,7 +124,8 @@ FaultPlan::parseSpec(const std::string &text, std::string *error)
         if (error)
             *error = "unknown fault kind '" + parts[0] +
                      "' (expected one of none, link-ber, credit-loss, "
-                     "handler-crash, disk-spike, disk-timeout)";
+                     "handler-crash, disk-spike, disk-timeout, "
+                     "backend-down, backend-up)";
         return std::nullopt;
     }
     spec.kind = *kind;

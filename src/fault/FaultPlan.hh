@@ -46,9 +46,11 @@ enum class FaultKind {
     HandlerCrash, //!< a switch-CPU handler crashes at invocation
     DiskSpike,    //!< one chunk read suffers a long media retry
     DiskTimeout,  //!< one chunk read times out and must be re-issued
+    BackendDown,  //!< a load-balancer backend leaves the pool
+    BackendUp,    //!< a load-balancer backend (re)joins the pool
 };
 
-inline constexpr unsigned faultKindCount = 6;
+inline constexpr unsigned faultKindCount = 8;
 
 /** Canonical spelling used by flags, logs and stats. */
 const char *faultKindName(FaultKind kind);

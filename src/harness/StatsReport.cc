@@ -4,6 +4,7 @@
 
 #include "fault/FaultPlan.hh"
 #include "fault/Reliable.hh"
+#include "lb/LoadBalancer.hh"
 #include "obs/Telemetry.hh"
 
 namespace san::harness {
@@ -230,6 +231,34 @@ dumpClusterStats(std::ostream &os, apps::Cluster &cluster)
            << '\n'
            << "switch.failovers " << cluster.sw().handlerFailovers()
            << '\n';
+    }
+
+    // The lb section appears only while a balancer drives the run,
+    // keeping every other workload's report byte-identical.
+    if (const lb::LoadBalancer *bal = lb::globalBalancer()) {
+        const apps::LbStats &c = bal->counters();
+        os << "lb.lookups " << c.lookups << '\n'
+           << "lb.hotHits " << c.hotHits << '\n'
+           << "lb.tableHits " << c.tableHits << '\n'
+           << "lb.misses " << c.misses << '\n'
+           << "lb.inserts " << c.inserts << '\n'
+           << "lb.insertFailures " << c.insertFailures << '\n'
+           << "lb.removes " << c.removes << '\n'
+           << "lb.forwarded " << c.forwarded << '\n'
+           << "lb.punts " << c.punts << '\n'
+           << "lb.migrations " << c.migrations << '\n'
+           << "lb.peakFlows " << c.peakFlows << '\n'
+           << "lb.flowsLive " << bal->table().live() << '\n'
+           << "lb.tableCapacity " << bal->table().capacity() << '\n'
+           << "lb.tableBytes " << bal->table().memoryBytes() << '\n'
+           << "lb.hotBytes " << lb::ConnTable::hotBytes() << '\n'
+           << "lb.backendsAlive " << bal->maglev().aliveCount() << '\n';
+        if (c.backendDownEvents != 0 || c.backendUpEvents != 0)
+            os << "lb.backendDownEvents " << c.backendDownEvents << '\n'
+               << "lb.backendUpEvents " << c.backendUpEvents << '\n';
+        for (unsigned b = 0; b < c.backendPackets.size(); ++b)
+            os << "lb.backend" << b << ".packets "
+               << c.backendPackets[b] << '\n';
     }
 }
 
@@ -521,6 +550,39 @@ dumpClusterStatsJson(obs::JsonWriter &json, apps::Cluster &cluster)
             json.kv("meanPs", f.mean);
             json.endObject();
         }
+        json.endArray();
+        json.endObject();
+    }
+
+    // The lb object only exists while a balancer drives the run,
+    // keeping every other workload's stats JSON byte-identical.
+    if (const lb::LoadBalancer *bal = lb::globalBalancer()) {
+        const apps::LbStats &c = bal->counters();
+        json.key("lb").beginObject();
+        json.kv("lookups", c.lookups);
+        json.kv("hotHits", c.hotHits);
+        json.kv("tableHits", c.tableHits);
+        json.kv("misses", c.misses);
+        json.kv("inserts", c.inserts);
+        json.kv("insertFailures", c.insertFailures);
+        json.kv("removes", c.removes);
+        json.kv("forwarded", c.forwarded);
+        json.kv("punts", c.punts);
+        json.kv("migrations", c.migrations);
+        json.kv("peakFlows", c.peakFlows);
+        json.kv("flowsLive", bal->table().live());
+        json.kv("tableCapacity", bal->table().capacity());
+        json.kv("tableBytes", bal->table().memoryBytes());
+        json.kv("hotBytes", lb::ConnTable::hotBytes());
+        json.kv("backendsAlive",
+                static_cast<std::uint64_t>(bal->maglev().aliveCount()));
+        if (c.backendDownEvents != 0 || c.backendUpEvents != 0) {
+            json.kv("backendDownEvents", c.backendDownEvents);
+            json.kv("backendUpEvents", c.backendUpEvents);
+        }
+        json.key("backendPackets").beginArray();
+        for (const std::uint64_t n : c.backendPackets)
+            json.value(n);
         json.endArray();
         json.endObject();
     }

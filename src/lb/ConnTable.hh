@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Two-stage connection table for the in-switch L4 load balancer.
+ *
+ * Stage 1 is a hot index sized to live entirely in the switch CPU's
+ * 1 KB data cache (static_asserted below): 16 sets x 4 ways of
+ * 16-byte entries holding the full 64-bit connection signature plus
+ * the backend assignment. Stage 2 is a large open-addressing table
+ * in switch-attached memory (modelled at a distinct address range so
+ * every probe is charged through the D$/memory hierarchy), sized for
+ * millions of concurrent connections.
+ *
+ * The table is purely functional state: every operation returns the
+ * probe counts and hot-index activity the caller needs to charge the
+ * CPU cost model (HandlerContext::access for the switch data plane,
+ * Cpu::touch for the host baseline). No timing happens here, which
+ * is what lets the in-switch and host-only paths share one
+ * implementation and produce identical hit/miss decisions.
+ *
+ * Entries store the full signature, never a truncated tag: a lookup
+ * can only return the backend that was inserted for that signature,
+ * so hash collisions (astronomically unlikely at 64 bits) are merely
+ * *consistent* — they can never mis-route one connection's packet to
+ * another connection's backend mid-run.
+ */
+
+#ifndef SAN_LB_CONN_TABLE_HH
+#define SAN_LB_CONN_TABLE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace san::lb {
+
+/** One hot-index way: full signature + assignment, cache-friendly. */
+struct HotEntry {
+    std::uint64_t sig = 0;
+    std::uint8_t backend = 0;
+    std::uint8_t valid = 0;
+    std::uint8_t pad[6] = {};
+};
+static_assert(sizeof(HotEntry) == 16, "hot entry must pack to 16 B");
+
+/** The D$-resident first stage: 16 sets x 4 ways = exactly 1 KB. */
+struct HotIndex {
+    static constexpr unsigned kSets = 16;
+    static constexpr unsigned kWays = 4;
+    HotEntry ways[kSets][kWays];
+};
+static_assert(sizeof(HotIndex) <= 1024,
+              "the hot index must fit the switch CPU's 1 KB D$");
+
+/** One second-stage bucket. */
+struct TableEntry {
+    std::uint64_t sig = 0;
+    std::uint8_t backend = 0;
+    std::uint8_t state = 0; //!< 0 empty, 1 live, 2 tombstone
+    std::uint8_t pad[6] = {};
+};
+static_assert(sizeof(TableEntry) == 16, "bucket must pack to 16 B");
+
+class ConnTable
+{
+  public:
+    struct Params {
+        /** Second-stage buckets; must be a power of two. Default
+         * holds 10^6 flows at < 50% occupancy. */
+        std::uint64_t capacity = 1ull << 21;
+        /** Linear-probe cap: past this an insert fails (punt). */
+        unsigned probeCap = 64;
+    };
+
+    /** Model address ranges, for charging the memory hierarchy. The
+     * hot index sits at the bottom of switch-local memory so it maps
+     * cleanly onto the 1 KB D$; the second stage lives far away so
+     * probes always charge real cache traffic. */
+    static constexpr std::uint64_t kHotBase = 0x0;
+    static constexpr std::uint64_t kTableBase = 0x100000;
+
+    struct LookupResult {
+        bool hit = false;
+        bool hotHit = false;      //!< resolved in stage 1
+        std::uint8_t backend = 0;
+        unsigned probes = 0;      //!< stage-2 buckets touched
+        bool hotInstalled = false; //!< stage-2 hit promoted to stage 1
+        std::uint64_t firstBucket = 0; //!< for access charging
+    };
+
+    struct InsertResult {
+        bool ok = false;
+        bool existed = false;     //!< signature was already live
+        unsigned probes = 0;
+        std::uint64_t firstBucket = 0;
+    };
+
+    struct RemoveResult {
+        bool removed = false;
+        std::uint8_t backend = 0;
+        unsigned probes = 0;
+        std::uint64_t firstBucket = 0;
+    };
+
+    explicit ConnTable(const Params &params) : probeCap_(params.probeCap)
+    {
+        assert(params.capacity >= 2 &&
+               (params.capacity & (params.capacity - 1)) == 0 &&
+               "capacity must be a power of two");
+        mask_ = params.capacity - 1;
+        table_.resize(params.capacity);
+    }
+
+    LookupResult
+    lookup(std::uint64_t sig)
+    {
+        LookupResult r;
+        r.firstBucket = bucketOf(sig);
+        if (const HotEntry *e = hotFind(sig)) {
+            r.hit = true;
+            r.hotHit = true;
+            r.backend = e->backend;
+            return r;
+        }
+        const std::uint64_t idx = probeFind(sig, &r.probes);
+        if (idx == kNotFound)
+            return r;
+        r.hit = true;
+        r.backend = table_[idx].backend;
+        hotInstall(sig, r.backend);
+        r.hotInstalled = true;
+        return r;
+    }
+
+    InsertResult
+    insert(std::uint64_t sig, std::uint8_t backend)
+    {
+        InsertResult r;
+        r.firstBucket = bucketOf(sig);
+        std::uint64_t slot = kNotFound;
+        std::uint64_t idx = r.firstBucket;
+        for (unsigned p = 0; p < probeCap_; ++p) {
+            TableEntry &e = table_[idx];
+            ++r.probes;
+            if (e.state == 1 && e.sig == sig) {
+                // Re-open of a live signature: refresh the backend.
+                e.backend = backend;
+                hotInstall(sig, backend);
+                r.ok = true;
+                r.existed = true;
+                return r;
+            }
+            if (e.state == 2) {
+                if (slot == kNotFound)
+                    slot = idx;
+            } else if (e.state == 0) {
+                if (slot == kNotFound)
+                    slot = idx;
+                break;
+            }
+            idx = (idx + 1) & mask_;
+        }
+        if (slot == kNotFound)
+            return r; // probe cap hit: table too clustered/full
+        table_[slot] = TableEntry{sig, backend, 1, {}};
+        ++live_;
+        hotInstall(sig, backend);
+        r.ok = true;
+        return r;
+    }
+
+    RemoveResult
+    remove(std::uint64_t sig)
+    {
+        RemoveResult r;
+        r.firstBucket = bucketOf(sig);
+        hotInvalidate(sig);
+        const std::uint64_t idx = probeFind(sig, &r.probes);
+        if (idx == kNotFound)
+            return r;
+        r.removed = true;
+        r.backend = table_[idx].backend;
+        table_[idx].state = 2;
+        --live_;
+        return r;
+    }
+
+    /** Point a live signature at a new backend (flow migration after
+     * its old backend died). Returns false if the flow is unknown. */
+    bool
+    reassign(std::uint64_t sig, std::uint8_t backend)
+    {
+        unsigned probes = 0;
+        const std::uint64_t idx = probeFind(sig, &probes);
+        if (idx == kNotFound)
+            return false;
+        table_[idx].backend = backend;
+        hotInstall(sig, backend);
+        return true;
+    }
+
+    std::uint64_t live() const { return live_; }
+    std::uint64_t capacity() const { return mask_ + 1; }
+    std::uint64_t
+    memoryBytes() const
+    {
+        return capacity() * sizeof(TableEntry);
+    }
+    static constexpr std::uint64_t hotBytes() { return sizeof(HotIndex); }
+
+    /** Model address of the hot set @p sig maps to (one D$ line's
+     * worth of ways is read per lookup). */
+    static constexpr std::uint64_t
+    hotSetAddr(std::uint64_t sig)
+    {
+        return kHotBase +
+               (sig & (HotIndex::kSets - 1)) * sizeof(HotEntry) *
+                   HotIndex::kWays;
+    }
+
+    /** Model address of stage-2 bucket @p bucket. */
+    static constexpr std::uint64_t
+    tableAddr(std::uint64_t bucket)
+    {
+        return kTableBase + bucket * sizeof(TableEntry);
+    }
+
+  private:
+    static constexpr std::uint64_t kNotFound = ~0ull;
+
+    std::uint64_t bucketOf(std::uint64_t sig) const { return sig & mask_; }
+
+    /** Stage-2 linear probe for a live @p sig; probe count out. */
+    std::uint64_t
+    probeFind(std::uint64_t sig, unsigned *probes) const
+    {
+        std::uint64_t idx = bucketOf(sig);
+        for (unsigned p = 0; p < probeCap_; ++p) {
+            const TableEntry &e = table_[idx];
+            ++*probes;
+            if (e.state == 0)
+                return kNotFound;
+            if (e.state == 1 && e.sig == sig)
+                return idx;
+            idx = (idx + 1) & mask_;
+        }
+        return kNotFound;
+    }
+
+    HotEntry *
+    hotFind(std::uint64_t sig)
+    {
+        auto &set = hot_.ways[sig & (HotIndex::kSets - 1)];
+        for (unsigned w = 0; w < HotIndex::kWays; ++w)
+            if (set[w].valid && set[w].sig == sig)
+                return &set[w];
+        return nullptr;
+    }
+
+    void
+    hotInstall(std::uint64_t sig, std::uint8_t backend)
+    {
+        const auto s =
+            static_cast<unsigned>(sig & (HotIndex::kSets - 1));
+        auto &set = hot_.ways[s];
+        for (unsigned w = 0; w < HotIndex::kWays; ++w) {
+            if (set[w].valid && set[w].sig == sig) {
+                set[w].backend = backend;
+                return;
+            }
+        }
+        for (unsigned w = 0; w < HotIndex::kWays; ++w) {
+            if (!set[w].valid) {
+                set[w] = HotEntry{sig, backend, 1, {}};
+                return;
+            }
+        }
+        // Round-robin victim. The clock lives outside HotIndex — it
+        // models a tiny rotating register per set, not cached state —
+        // which keeps the data-cache-resident structure at 1 KB flat.
+        const unsigned w = hotClock_[s]++ % HotIndex::kWays;
+        set[w] = HotEntry{sig, backend, 1, {}};
+    }
+
+    void
+    hotInvalidate(std::uint64_t sig)
+    {
+        auto &set = hot_.ways[sig & (HotIndex::kSets - 1)];
+        for (unsigned w = 0; w < HotIndex::kWays; ++w)
+            if (set[w].valid && set[w].sig == sig)
+                set[w].valid = 0;
+    }
+
+    HotIndex hot_{};
+    std::uint8_t hotClock_[HotIndex::kSets] = {};
+    std::vector<TableEntry> table_;
+    std::uint64_t mask_ = 0;
+    unsigned probeCap_;
+    std::uint64_t live_ = 0;
+};
+
+} // namespace san::lb
+
+#endif // SAN_LB_CONN_TABLE_HH

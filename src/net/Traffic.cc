@@ -187,4 +187,119 @@ TrafficGen::report() const
     return r;
 }
 
+//
+// ---- FlowChurnGen ----
+//
+
+FlowChurnGen::FlowChurnGen(sim::Simulation &sim,
+                           std::vector<Adapter *> senders,
+                           const FlowChurnParams &params)
+    : sim_(sim), senders_(std::move(senders)), params_(params),
+      addrClock_(senders_.size(), 0)
+{
+    assert(!senders_.empty() && "flow churn needs a sender");
+    assert(params_.dst != invalidNode);
+    assert(params_.handlerCpus >= 1);
+    if (params_.spacing == 0) {
+        const std::uint64_t pkts =
+            (params_.packetBytes + params_.mtu - 1) / params_.mtu;
+        params_.spacing =
+            sim::ns(params_.packetBytes + pkts * headerBytes);
+    }
+}
+
+void
+FlowChurnGen::post(unsigned slot, std::uint64_t flowId, FlowOp op)
+{
+    std::optional<ActiveHeader> hdr;
+    if (params_.active) {
+        ActiveHeader h;
+        h.handlerId = params_.handlerId;
+        h.cpuId = static_cast<std::uint8_t>(flowId %
+                                            params_.handlerCpus);
+        // Per-sender ATB window: 4096 rotating chunk addresses. The
+        // handler frees each chunk after one packet, so at most the
+        // switch's buffer quota is ever mapped — reuse is safe.
+        h.address = (static_cast<std::uint32_t>(slot) + 1) * 0x01000000u +
+                    (addrClock_[slot]++ & 0xFFFu) * 512u;
+        hdr = h;
+    }
+    senders_[slot]->sendMessage(params_.dst, params_.packetBytes, hdr,
+                                nullptr, flowTag(flowId, op));
+    ++counts_.posted;
+    switch (op) {
+    case FlowOp::Syn:
+        ++counts_.opens;
+        ++open_;
+        counts_.peakOpen = std::max(counts_.peakOpen, open_);
+        break;
+    case FlowOp::Data:
+        ++counts_.data;
+        break;
+    case FlowOp::Fin:
+        ++counts_.closes;
+        if (open_ > 0)
+            --open_;
+        break;
+    }
+}
+
+sim::Task
+FlowChurnGen::pump(unsigned slot)
+{
+    const auto nsend = static_cast<std::uint64_t>(senders_.size());
+    const std::uint64_t owned =
+        params_.flows > slot ? (params_.flows - slot - 1) / nsend + 1
+                             : 0;
+    const auto baseFlow = [&](std::uint64_t i) {
+        return i * nsend + slot;
+    };
+
+    // Phase 1: open every owned flow.
+    for (std::uint64_t i = 0; i < owned; ++i) {
+        post(slot, baseFlow(i), FlowOp::Syn);
+        co_await sim::Delay{params_.spacing};
+    }
+
+    // Phase 2: data rounds, orphan packets interleaved.
+    unsigned orphans = 0;
+    for (unsigned r = 0; r < params_.dataRounds; ++r) {
+        for (std::uint64_t i = 0; i < owned; ++i) {
+            post(slot, baseFlow(i), FlowOp::Data);
+            co_await sim::Delay{params_.spacing};
+            if (params_.orphanEvery != 0 &&
+                (i + 1) % params_.orphanEvery == 0) {
+                post(slot, orphanFlowId(slot, orphans), FlowOp::Data);
+                ++counts_.orphans;
+                ++orphans;
+                co_await sim::Delay{params_.spacing};
+            }
+        }
+    }
+
+    // Phase 3: churn — retire a victim, open a replacement, and
+    // prove the replacement works with one data packet.
+    const std::uint64_t stride = std::max(1u, params_.closeEvery);
+    for (unsigned n = 0; n < params_.churnOpens; ++n) {
+        const std::uint64_t victim = n * stride;
+        if (owned > 0 && victim < owned) {
+            post(slot, baseFlow(victim), FlowOp::Fin);
+            co_await sim::Delay{params_.spacing};
+        }
+        post(slot, churnFlowId(slot, n), FlowOp::Syn);
+        co_await sim::Delay{params_.spacing};
+        post(slot, churnFlowId(slot, n), FlowOp::Data);
+        co_await sim::Delay{params_.spacing};
+    }
+}
+
+void
+FlowChurnGen::start()
+{
+    assert(!started_ && "start() is one-shot");
+    started_ = true;
+    for (unsigned s = 0; s < senders_.size(); ++s)
+        sim_.spawn(pump(s));
+}
+
 } // namespace san::net

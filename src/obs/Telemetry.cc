@@ -32,6 +32,8 @@ stageName(Stage s)
         return "handlerCpu";
     case Stage::EndToEnd:
         return "endToEnd";
+    case Stage::LbLookup:
+        return "lbLookup";
     }
     return "?";
 }
@@ -126,6 +128,11 @@ Telemetry::finishRun()
         if (hcpu > 0)
             stages[static_cast<std::size_t>(Stage::HandlerCpu)].add(
                 hcpu);
+        // Same rule for lb lookups: only lb-handled packets carry one.
+        const sim::Tick lbl =
+            rec->stage[static_cast<std::size_t>(Stage::LbLookup)];
+        if (lbl > 0)
+            stages[static_cast<std::size_t>(Stage::LbLookup)].add(lbl);
         for (std::size_t h = 0; h < rec->hopCount; ++h) {
             const TelemetryHop &hop = rec->hops[h];
             auto &hh = last_.hop[fc][h];

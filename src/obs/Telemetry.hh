@@ -57,9 +57,10 @@ enum class Stage : std::uint8_t {
     PolicyWait = 1,  //!< switch ingress -> policy admission (staging)
     SwitchQueue = 2, //!< policy admission -> egress (buffer + grant)
     HandlerCpu = 3,  //!< switch-CPU ticks charged while processing
-    EndToEnd = 4     //!< birth -> delivery
+    EndToEnd = 4,    //!< birth -> delivery
+    LbLookup = 5     //!< connection-table lookup inside the lb handler
 };
-inline constexpr std::size_t kStageCount = 5;
+inline constexpr std::size_t kStageCount = 6;
 
 const char *stageName(Stage s);
 
@@ -187,6 +188,15 @@ struct TelemetryRecord {
     noteHandlerTicks(sim::Tick ticks)
     {
         stage[static_cast<std::size_t>(Stage::HandlerCpu)] += ticks;
+    }
+
+    /** Connection-lookup time inside the lb handler (a subset of
+     * HandlerCpu, broken out so --latency-report can show what the
+     * two-stage table costs per packet). */
+    void
+    noteLbLookup(sim::Tick ticks)
+    {
+        stage[static_cast<std::size_t>(Stage::LbLookup)] += ticks;
     }
 
     void

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Unit tests for the lb subsystem's pure state: the deterministic
+ * 5-tuple pipeline (net::lfsrTuple -> apps::detTupleHash), the
+ * flow-tag codec, the two-stage connection table and the Maglev
+ * consistent-hash selector. Everything here is timing-free, so the
+ * tests pin exact behaviour, not tolerances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "apps/DetHash.hh"
+#include "io/IoRequest.hh"
+#include "lb/ConnTable.hh"
+#include "lb/Maglev.hh"
+#include "net/Traffic.hh"
+
+namespace {
+
+using namespace san;
+using lb::ConnTable;
+using lb::Maglev;
+
+std::uint64_t
+sigOf(std::uint64_t seed, std::uint64_t flowId)
+{
+    const net::FiveTuple t = net::lfsrTuple(seed, flowId);
+    return apps::detTupleHash(0x1b5eedull, t.w0(), t.w1());
+}
+
+// ---- deterministic tuple + hash pipeline ----
+
+TEST(LfsrTuple, PureFunctionOfSeedAndFlow)
+{
+    for (std::uint64_t f : {0ull, 1ull, 12345ull, (1ull << 29) + 7})
+        for (std::uint64_t seed : {1ull, 42ull}) {
+            const net::FiveTuple a = net::lfsrTuple(seed, f);
+            const net::FiveTuple b = net::lfsrTuple(seed, f);
+            EXPECT_EQ(a.w0(), b.w0());
+            EXPECT_EQ(a.w1(), b.w1());
+        }
+}
+
+TEST(LfsrTuple, DistinctFlowsGetDistinctTuples)
+{
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (std::uint64_t f = 0; f < 100'000; ++f) {
+        const net::FiveTuple t = net::lfsrTuple(1, f);
+        EXPECT_TRUE(seen.emplace(t.w0(), t.w1()).second)
+            << "tuple collision at flow " << f;
+    }
+}
+
+TEST(LfsrTuple, ProtocolIsTcpOrUdp)
+{
+    for (std::uint64_t f = 0; f < 1'000; ++f) {
+        const std::uint8_t p = net::lfsrTuple(1, f).proto;
+        EXPECT_TRUE(p == 6 || p == 17);
+    }
+}
+
+TEST(DetTupleHash, DeterministicAndSeedSensitive)
+{
+    const net::FiveTuple t = net::lfsrTuple(1, 99);
+    EXPECT_EQ(apps::detTupleHash(7, t.w0(), t.w1()),
+              apps::detTupleHash(7, t.w0(), t.w1()));
+    EXPECT_NE(apps::detTupleHash(7, t.w0(), t.w1()),
+              apps::detTupleHash(8, t.w0(), t.w1()));
+}
+
+TEST(DetTupleHash, AvalancheFlipsAboutHalfTheOutputBits)
+{
+    // Flip single input bits and require the output to change by
+    // 16..48 of 64 bits on average-ish bounds per flip — the classic
+    // avalanche sanity check for a routing hash.
+    const std::uint64_t w0 = net::lfsrTuple(1, 4242).w0();
+    const std::uint64_t w1 = net::lfsrTuple(1, 4242).w1();
+    const std::uint64_t base = apps::detTupleHash(7, w0, w1);
+    double totalFlipped = 0;
+    int trials = 0;
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        for (int word = 0; word < 2; ++word) {
+            const std::uint64_t h = word == 0
+                ? apps::detTupleHash(7, w0 ^ (1ull << bit), w1)
+                : apps::detTupleHash(7, w0, w1 ^ (1ull << bit));
+            const int flipped = std::popcount(base ^ h);
+            EXPECT_GE(flipped, 8) << "weak avalanche at bit " << bit;
+            EXPECT_LE(flipped, 56) << "weak avalanche at bit " << bit;
+            totalFlipped += flipped;
+            ++trials;
+        }
+    }
+    const double mean = totalFlipped / trials;
+    EXPECT_GT(mean, 28.0);
+    EXPECT_LT(mean, 36.0);
+}
+
+TEST(DetTupleHash, SpreadsUniformlyAcrossBuckets)
+{
+    constexpr unsigned kBuckets = 64;
+    std::vector<unsigned> count(kBuckets, 0);
+    constexpr unsigned kFlows = 64'000;
+    for (std::uint64_t f = 0; f < kFlows; ++f)
+        ++count[sigOf(1, f) % kBuckets];
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        EXPECT_GT(count[b], kFlows / kBuckets * 3 / 4);
+        EXPECT_LT(count[b], kFlows / kBuckets * 5 / 4);
+    }
+}
+
+// ---- flow-tag codec ----
+
+TEST(FlowTag, RoundTripsAndAvoidsReservedIoTags)
+{
+    for (std::uint64_t f : {0ull, 1ull, 7ull, (1ull << 29) + 3}) {
+        for (net::FlowOp op : {net::FlowOp::Syn, net::FlowOp::Data,
+                               net::FlowOp::Fin}) {
+            const std::uint32_t tag = net::flowTag(f, op);
+            EXPECT_EQ(net::flowTagId(tag), f);
+            EXPECT_EQ(net::flowTagOp(tag), op);
+            // Host::demux consumes io::tagIoReply; a flow tag landing
+            // there would vanish into the io completion path.
+            EXPECT_NE(tag, io::tagIoRequest);
+            EXPECT_NE(tag, io::tagIoReply);
+        }
+    }
+}
+
+// ---- hot index geometry ----
+
+TEST(HotIndex, FitsTheSwitchDataCache)
+{
+    static_assert(sizeof(lb::HotIndex) <= 1024);
+    static_assert(sizeof(lb::HotEntry) == 16);
+    EXPECT_EQ(ConnTable::hotBytes(), 1024u);
+    // The per-lookup hot-set read is one 64 B line of ways.
+    EXPECT_EQ(sizeof(lb::HotEntry) * lb::HotIndex::kWays, 64u);
+    // All 16 sets stay inside the modelled hot range.
+    EXPECT_LT(ConnTable::hotSetAddr(~0ull) + 64,
+              ConnTable::kHotBase + 1024 + 1);
+}
+
+// ---- connection table ----
+
+TEST(ConnTable, InsertLookupRemoveLifecycle)
+{
+    ConnTable t(ConnTable::Params{1 << 10, 64});
+    const std::uint64_t sig = sigOf(1, 1);
+
+    EXPECT_FALSE(t.lookup(sig).hit);
+    const auto ins = t.insert(sig, 3);
+    EXPECT_TRUE(ins.ok);
+    EXPECT_FALSE(ins.existed);
+    EXPECT_EQ(t.live(), 1u);
+
+    auto lr = t.lookup(sig);
+    EXPECT_TRUE(lr.hit);
+    EXPECT_TRUE(lr.hotHit); // insert installed it hot
+    EXPECT_EQ(lr.backend, 3);
+
+    const auto rm = t.remove(sig);
+    EXPECT_TRUE(rm.removed);
+    EXPECT_EQ(rm.backend, 3);
+    EXPECT_EQ(t.live(), 0u);
+    EXPECT_FALSE(t.lookup(sig).hit)
+        << "hot index must not resurrect a removed flow";
+}
+
+TEST(ConnTable, SecondStageHitPromotesToHotIndex)
+{
+    ConnTable t(ConnTable::Params{1 << 12, 64});
+    // Fill well past the hot index (64 entries) so old flows are
+    // evicted from stage 1 but still live in stage 2.
+    std::vector<std::uint64_t> sigs;
+    for (std::uint64_t f = 0; f < 4'00; ++f) {
+        sigs.push_back(sigOf(1, f));
+        ASSERT_TRUE(t.insert(sigs.back(), f % 8).ok);
+    }
+    const auto first = t.lookup(sigs.front());
+    ASSERT_TRUE(first.hit);
+    EXPECT_FALSE(first.hotHit);
+    EXPECT_TRUE(first.hotInstalled);
+    EXPECT_GT(first.probes, 0u);
+    const auto again = t.lookup(sigs.front());
+    EXPECT_TRUE(again.hotHit) << "promotion must stick";
+    EXPECT_EQ(again.backend, first.backend);
+}
+
+TEST(ConnTable, TombstonesAreReusedAndProbedThrough)
+{
+    ConnTable t(ConnTable::Params{1 << 10, 64});
+    // Two signatures forced into the same bucket chain: sig2 probes
+    // past sig1's slot. Removing sig1 leaves a tombstone that must
+    // not break sig2's chain, and a later insert reuses the slot.
+    const std::uint64_t mask = t.capacity() - 1;
+    std::uint64_t sig1 = sigOf(1, 10);
+    std::uint64_t sig2 = 0;
+    for (std::uint64_t f = 11;; ++f) {
+        const std::uint64_t s = sigOf(1, f);
+        if ((s & mask) == (sig1 & mask) && s != sig1) {
+            sig2 = s;
+            break;
+        }
+    }
+    ASSERT_TRUE(t.insert(sig1, 1).ok);
+    ASSERT_TRUE(t.insert(sig2, 2).ok);
+    ASSERT_TRUE(t.remove(sig1).removed);
+
+    auto lr = t.lookup(sig2);
+    EXPECT_TRUE(lr.hit) << "tombstone broke the probe chain";
+    EXPECT_EQ(lr.backend, 2);
+
+    const std::uint64_t liveBefore = t.live();
+    const auto ins = t.insert(sig1, 5);
+    EXPECT_TRUE(ins.ok);
+    EXPECT_EQ(t.live(), liveBefore + 1);
+    EXPECT_EQ(t.lookup(sig1).backend, 5);
+}
+
+TEST(ConnTable, ReopenRefreshesBackendInPlace)
+{
+    ConnTable t(ConnTable::Params{1 << 10, 64});
+    const std::uint64_t sig = sigOf(1, 77);
+    ASSERT_TRUE(t.insert(sig, 1).ok);
+    const auto re = t.insert(sig, 6);
+    EXPECT_TRUE(re.ok);
+    EXPECT_TRUE(re.existed);
+    EXPECT_EQ(t.live(), 1u);
+    EXPECT_EQ(t.lookup(sig).backend, 6);
+}
+
+TEST(ConnTable, ProbeCapFailsInsertInsteadOfScanning)
+{
+    // Tiny table, tiny cap: fill it, then expect a clean failure.
+    ConnTable t(ConnTable::Params{16, 4});
+    unsigned ok = 0;
+    bool sawFailure = false;
+    for (std::uint64_t f = 0; f < 64; ++f) {
+        const auto r = t.insert(sigOf(1, f), 0);
+        if (r.ok)
+            ++ok;
+        else {
+            sawFailure = true;
+            EXPECT_LE(r.probes, 4u);
+        }
+    }
+    EXPECT_TRUE(sawFailure);
+    EXPECT_EQ(t.live(), ok);
+}
+
+TEST(ConnTable, ReassignMovesLiveFlow)
+{
+    ConnTable t(ConnTable::Params{1 << 10, 64});
+    const std::uint64_t sig = sigOf(1, 5);
+    ASSERT_TRUE(t.insert(sig, 0).ok);
+    EXPECT_TRUE(t.reassign(sig, 7));
+    EXPECT_EQ(t.lookup(sig).backend, 7);
+    EXPECT_FALSE(t.reassign(sigOf(1, 999), 7));
+}
+
+TEST(ConnTable, ScalesToAMillionLiveFlows)
+{
+    ConnTable t(ConnTable::Params{});
+    constexpr std::uint64_t kFlows = 1'000'000;
+    for (std::uint64_t f = 0; f < kFlows; ++f)
+        ASSERT_TRUE(t.insert(sigOf(1, f), f % 8).ok)
+            << "insert failed at flow " << f;
+    EXPECT_EQ(t.live(), kFlows);
+    EXPECT_EQ(ConnTable::hotBytes(), 1024u)
+        << "stage 1 must stay D$-resident regardless of scale";
+    for (std::uint64_t f = 0; f < kFlows; f += 997) {
+        const auto lr = t.lookup(sigOf(1, f));
+        ASSERT_TRUE(lr.hit);
+        EXPECT_EQ(lr.backend, f % 8);
+    }
+}
+
+// ---- Maglev selector ----
+
+TEST(Maglev, DeterministicAndFullyPopulated)
+{
+    Maglev a(8, 42), b(8, 42);
+    std::vector<unsigned> share(8, 0);
+    for (std::uint64_t s = 0; s < a.size(); ++s) {
+        EXPECT_EQ(a.pick(s), b.pick(s));
+        ASSERT_NE(a.pick(s), Maglev::kNone);
+        ++share[a.pick(s)];
+    }
+    // Each backend owns roughly 1/8th of the prime-sized table.
+    for (unsigned n : share) {
+        EXPECT_GT(n, a.size() / 8 * 3 / 4);
+        EXPECT_LT(n, a.size() / 8 * 5 / 4);
+    }
+}
+
+TEST(Maglev, RemovalOnlyRemapsTheDeadBackendsSlots)
+{
+    Maglev m(8, 42);
+    std::map<std::uint64_t, std::uint8_t> before;
+    for (std::uint64_t s = 0; s < m.size(); ++s)
+        before[s] = m.pick(s);
+
+    ASSERT_TRUE(m.setAlive(3, false));
+    unsigned moved = 0;
+    for (std::uint64_t s = 0; s < m.size(); ++s) {
+        const std::uint8_t now = m.pick(s);
+        ASSERT_NE(now, Maglev::kNone);
+        ASSERT_NE(now, 3);
+        if (before[s] != 3)
+            moved += now != before[s];
+    }
+    // The Maglev property: slots of surviving backends barely move
+    // (the paper reports ~1% disruption; allow a loose 15%).
+    EXPECT_LT(static_cast<double>(moved),
+              0.15 * static_cast<double>(m.size()));
+
+    // Rebirth restores the original table exactly.
+    ASSERT_TRUE(m.setAlive(3, true));
+    for (std::uint64_t s = 0; s < m.size(); ++s)
+        EXPECT_EQ(m.pick(s), before[s]);
+}
+
+TEST(Maglev, EstablishedFlowsStickThroughChurn)
+{
+    // The end-to-end consistency invariant: flows in the ConnTable
+    // never consult the Maglev again, so killing and reviving other
+    // backends must not move them.
+    ConnTable t(ConnTable::Params{1 << 12, 64});
+    Maglev m(8, 42);
+    std::map<std::uint64_t, std::uint8_t> assigned;
+    for (std::uint64_t f = 0; f < 1'000; ++f) {
+        const std::uint64_t sig = sigOf(1, f);
+        const std::uint8_t b = m.pick(sig);
+        ASSERT_TRUE(t.insert(sig, b).ok);
+        assigned[sig] = b;
+    }
+    m.setAlive(5, false);
+    m.setAlive(2, false);
+    m.setAlive(5, true);
+    for (const auto &[sig, b] : assigned) {
+        const auto lr = t.lookup(sig);
+        ASSERT_TRUE(lr.hit);
+        EXPECT_EQ(lr.backend, b)
+            << "table assignment moved under backend churn";
+    }
+}
+
+TEST(Maglev, NoAliveBackendsYieldsNone)
+{
+    Maglev m(2, 7);
+    m.setAlive(0, false);
+    m.setAlive(1, false);
+    EXPECT_EQ(m.aliveCount(), 0u);
+    EXPECT_EQ(m.pick(123), Maglev::kNone);
+    m.setAlive(0, true);
+    EXPECT_NE(m.pick(123), Maglev::kNone);
+}
+
+} // namespace
