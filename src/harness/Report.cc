@@ -140,6 +140,71 @@ printLatencyRow(std::ostream &os, const std::string &label,
 } // namespace
 
 void
+printTelemetryStats(std::ostream &os, const std::string &label,
+                    const obs::TelemetryStats &t)
+{
+    if (!t.active)
+        return;
+    os << "-- " << label << ": sampleRate " << t.sampleRate
+       << ", sampled " << t.recordsSampled << ", delivered "
+       << t.recordsDelivered << ", inFlight " << t.recordsInFlight
+       << ", retransmits " << t.retransmitsSampled
+       << ", stampsDropped " << t.stampsDropped << " --\n";
+    os << std::left << std::setw(26) << "class.stage" << std::right
+       << std::setw(10) << "samples" << std::setw(12) << "p50(ns)"
+       << std::setw(12) << "p90(ns)" << std::setw(12) << "p99(ns)"
+       << std::setw(12) << "p99.9(ns)" << std::setw(12)
+       << "max(ns)" << '\n';
+    for (std::size_t fc = 0; fc < obs::kFlowClassCount; ++fc) {
+        for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+            const auto &h =
+                t.stageHist(static_cast<obs::FlowClass>(fc),
+                            static_cast<obs::Stage>(s));
+            if (h.samples() == 0)
+                continue;
+            printLatencyRow(
+                os,
+                std::string(obs::flowClassName(
+                    static_cast<obs::FlowClass>(fc))) +
+                    "." + obs::stageName(static_cast<obs::Stage>(s)),
+                h);
+        }
+    }
+    for (std::size_t fc = 0; fc < obs::kFlowClassCount; ++fc) {
+        for (std::size_t hi = 0; hi < obs::kMaxTelemetryHops; ++hi) {
+            for (std::size_t s = 0; s < obs::kHopStageCount; ++s) {
+                const auto &h =
+                    t.hopHist(static_cast<obs::FlowClass>(fc), hi,
+                              static_cast<obs::HopStage>(s));
+                if (h.samples() == 0)
+                    continue;
+                printLatencyRow(
+                    os,
+                    std::string(obs::flowClassName(
+                        static_cast<obs::FlowClass>(fc))) +
+                        ".hop" + std::to_string(hi) + "." +
+                        obs::hopStageName(
+                            static_cast<obs::HopStage>(s)),
+                    h);
+            }
+        }
+    }
+    if (!t.topByVolume.empty()) {
+        os << "top flows by volume:\n";
+        for (const auto &f : t.topByVolume)
+            os << "  " << f.src << "->" << f.dst << " bytes "
+               << f.bytes << " maxError " << f.error << '\n';
+    }
+    if (!t.worstLatency.empty()) {
+        os << "worst sampled end-to-end latency:\n";
+        for (const auto &f : t.worstLatency)
+            os << "  " << f.src << "->" << f.dst << " samples "
+               << f.samples << " worst(ns) " << toNs(f.worst)
+               << " mean(ns) " << toNs(f.mean) << '\n';
+    }
+}
+
+void
 printLatencyReport(std::ostream &os, const std::string &title,
                    const ModeResults &results)
 {
@@ -150,72 +215,9 @@ printLatencyReport(std::ostream &os, const std::string &title,
         return;
 
     os << "== " << title << " (latency lineage) ==\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const obs::TelemetryStats &t = results[i].telemetry;
-        if (!t.active)
-            continue;
-        os << "-- " << modeName(allModes[i]) << ": sampleRate "
-           << t.sampleRate << ", sampled " << t.recordsSampled
-           << ", delivered " << t.recordsDelivered << ", inFlight "
-           << t.recordsInFlight << ", retransmits "
-           << t.retransmitsSampled << ", stampsDropped "
-           << t.stampsDropped << " --\n";
-        os << std::left << std::setw(26) << "class.stage" << std::right
-           << std::setw(10) << "samples" << std::setw(12) << "p50(ns)"
-           << std::setw(12) << "p90(ns)" << std::setw(12) << "p99(ns)"
-           << std::setw(12) << "p99.9(ns)" << std::setw(12)
-           << "max(ns)" << '\n';
-        for (std::size_t fc = 0; fc < obs::kFlowClassCount; ++fc) {
-            for (std::size_t s = 0; s < obs::kStageCount; ++s) {
-                const auto &h =
-                    t.stageHist(static_cast<obs::FlowClass>(fc),
-                                static_cast<obs::Stage>(s));
-                if (h.samples() == 0)
-                    continue;
-                printLatencyRow(
-                    os,
-                    std::string(obs::flowClassName(
-                        static_cast<obs::FlowClass>(fc))) +
-                        "." +
-                        obs::stageName(static_cast<obs::Stage>(s)),
-                    h);
-            }
-        }
-        for (std::size_t fc = 0; fc < obs::kFlowClassCount; ++fc) {
-            for (std::size_t hi = 0; hi < obs::kMaxTelemetryHops;
-                 ++hi) {
-                for (std::size_t s = 0; s < obs::kHopStageCount;
-                     ++s) {
-                    const auto &h = t.hopHist(
-                        static_cast<obs::FlowClass>(fc), hi,
-                        static_cast<obs::HopStage>(s));
-                    if (h.samples() == 0)
-                        continue;
-                    printLatencyRow(
-                        os,
-                        std::string(obs::flowClassName(
-                            static_cast<obs::FlowClass>(fc))) +
-                            ".hop" + std::to_string(hi) + "." +
-                            obs::hopStageName(
-                                static_cast<obs::HopStage>(s)),
-                        h);
-                }
-            }
-        }
-        if (!t.topByVolume.empty()) {
-            os << "top flows by volume:\n";
-            for (const auto &f : t.topByVolume)
-                os << "  " << f.src << "->" << f.dst << " bytes "
-                   << f.bytes << " maxError " << f.error << '\n';
-        }
-        if (!t.worstLatency.empty()) {
-            os << "worst sampled end-to-end latency:\n";
-            for (const auto &f : t.worstLatency)
-                os << "  " << f.src << "->" << f.dst << " samples "
-                   << f.samples << " worst(ns) " << toNs(f.worst)
-                   << " mean(ns) " << toNs(f.mean) << '\n';
-        }
-    }
+    for (std::size_t i = 0; i < results.size(); ++i)
+        printTelemetryStats(os, modeName(allModes[i]),
+                            results[i].telemetry);
 }
 
 bool

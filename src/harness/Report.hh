@@ -53,6 +53,16 @@ void printHandlerProfile(std::ostream &os, const std::string &title,
 void printLatencyReport(std::ostream &os, const std::string &title,
                         const ModeResults &results);
 
+/**
+ * Print one run's folded telemetry under @p label — the table body
+ * printLatencyReport() emits per mode. Benches that run their own
+ * mode sets (e.g. handler placements on a multi-switch fabric)
+ * reuse this directly instead of shaping results into ModeResults.
+ * Prints nothing when @p t is inactive.
+ */
+void printTelemetryStats(std::ostream &os, const std::string &label,
+                         const obs::TelemetryStats &t);
+
 /** Consistency check: every mode computed the same answer. */
 bool checksumsAgree(const ModeResults &results);
 

@@ -1,5 +1,6 @@
 #include "net/Fabric.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <queue>
 
@@ -16,6 +17,8 @@ Fabric::addAdapter(const std::string &name)
     const NodeId id = nextNode_++;
     adapters_.push_back(
         std::make_unique<Adapter>(sim_, name, id, adapterParams_));
+    adapterIndexOf_.emplace(adapters_.back().get(),
+                            adapters_.size() - 1);
     adapterHome_.emplace_back(-1, 0u);
     return *adapters_.back();
 }
@@ -30,11 +33,10 @@ Fabric::newLink(const std::string &name)
 std::size_t
 Fabric::switchIndex(const Switch &sw) const
 {
-    for (std::size_t i = 0; i < switches_.size(); ++i)
-        if (switches_[i].get() == &sw)
-            return i;
-    assert(false && "switch not owned by this fabric");
-    return 0;
+    const auto it = switchIndexOf_.find(&sw);
+    assert(it != switchIndexOf_.end() &&
+           "switch not owned by this fabric");
+    return it->second;
 }
 
 void
@@ -45,13 +47,11 @@ Fabric::connect(Switch &sw, unsigned port, Adapter &adapter)
     sw.attachPort(port, to_ep, to_sw);
     adapter.attach(to_sw, to_ep);
 
-    for (std::size_t i = 0; i < adapters_.size(); ++i) {
-        if (adapters_[i].get() == &adapter) {
-            adapterHome_[i] = {static_cast<int>(switchIndex(sw)), port};
-            return;
-        }
-    }
-    assert(false && "adapter not owned by this fabric");
+    const auto it = adapterIndexOf_.find(&adapter);
+    assert(it != adapterIndexOf_.end() &&
+           "adapter not owned by this fabric");
+    adapterHome_[it->second] = {static_cast<int>(switchIndex(sw)),
+                                port};
 }
 
 void
@@ -69,67 +69,78 @@ Fabric::connectSwitches(Switch &a, unsigned port_a, Switch &b,
 }
 
 void
-Fabric::computeRoutes()
+Fabric::computeRoutes(RouteSpread spread)
 {
     const std::size_t n = switches_.size();
 
-    // For each "anchor" switch t, compute, for every other switch,
-    // the output port of its first hop toward t (BFS tree rooted at
-    // t). Reused for every destination homed at t.
+    // Adapters grouped by home switch: each anchor's BFS serves the
+    // anchor's own NodeId plus every destination homed there.
+    std::vector<std::vector<std::size_t>> by_home(n);
+    for (std::size_t a = 0; a < adapters_.size(); ++a) {
+        const int home = adapterHome_[a].first;
+        assert(home >= 0 && "adapter never connected");
+        by_home[static_cast<std::size_t>(home)].push_back(a);
+    }
+
+    // For each "anchor" switch t: BFS distances over the switch
+    // graph, then, per switch, the ascending list of output ports
+    // whose neighbour is one hop closer to t — every equal-cost
+    // shortest-path candidate, in deterministic port order.
+    std::vector<int> dist(n);
+    std::vector<std::vector<unsigned>> cand(n);
     auto towards = [&](std::size_t t) {
-        std::vector<int> port_to_t(n, -1);
-        std::vector<int> dist(n, -1);
+        std::fill(dist.begin(), dist.end(), -1);
         std::queue<std::size_t> bfs;
         dist[t] = 0;
         bfs.push(t);
         while (!bfs.empty()) {
             const std::size_t cur = bfs.front();
             bfs.pop();
-            for (unsigned p = 0; p < switchAdj_[cur].size(); ++p) {
-                const auto [nbr, nbr_port] = switchAdj_[cur][p];
+            for (const auto &[nbr, nbr_port] : switchAdj_[cur]) {
+                (void)nbr_port;
                 if (nbr < 0 || dist[nbr] >= 0)
                     continue;
                 dist[nbr] = dist[cur] + 1;
-                // The neighbour reaches t through its port back to
-                // cur.
-                port_to_t[nbr] = nbr_port;
                 bfs.push(static_cast<std::size_t>(nbr));
             }
         }
-        return port_to_t;
+        for (std::size_t i = 0; i < n; ++i) {
+            cand[i].clear();
+            if (i == t || dist[i] < 0)
+                continue;
+            for (unsigned p = 0; p < switchAdj_[i].size(); ++p) {
+                const int nbr = switchAdj_[i][p].first;
+                if (nbr >= 0 && dist[nbr] == dist[i] - 1)
+                    cand[i].push_back(p);
+            }
+        }
     };
 
-    std::vector<std::vector<int>> first_hop(n);
-    for (std::size_t t = 0; t < n; ++t)
-        first_hop[t] = towards(t);
+    // The tie-break: lowest candidate port, or (DestinationMod)
+    // dst mod #candidates into the ascending list — a pure function
+    // of (switch, destination), so recomputation is idempotent.
+    const auto pick = [spread](const std::vector<unsigned> &c,
+                               NodeId dst) {
+        return spread == RouteSpread::LowestPort
+                   ? c.front()
+                   : c[dst % c.size()];
+    };
 
-    // Switch destinations (active messages address switches).
     for (std::size_t t = 0; t < n; ++t) {
-        const NodeId dst = switches_[t]->id();
+        towards(t);
         for (std::size_t i = 0; i < n; ++i) {
-            if (i == t)
+            if (i == t || cand[i].empty())
                 continue;
-            if (first_hop[t][i] >= 0)
+            switches_[i]->setRoute(switches_[t]->id(),
+                                   pick(cand[i], switches_[t]->id()));
+            for (const std::size_t a : by_home[t])
                 switches_[i]->setRoute(
-                    dst, static_cast<unsigned>(first_hop[t][i]));
+                    adapters_[a]->id(),
+                    pick(cand[i], adapters_[a]->id()));
         }
-    }
-
-    // Adapter destinations.
-    for (std::size_t a = 0; a < adapters_.size(); ++a) {
-        const auto [home, port] = adapterHome_[a];
-        assert(home >= 0 && "adapter never connected");
-        const NodeId dst = adapters_[a]->id();
-        switches_[home]->setRoute(dst, port);
-        for (std::size_t i = 0; i < n; ++i) {
-            if (static_cast<int>(i) == home)
-                continue;
-            if (first_hop[static_cast<std::size_t>(home)][i] >= 0)
-                switches_[i]->setRoute(
-                    dst,
-                    static_cast<unsigned>(
-                        first_hop[static_cast<std::size_t>(home)][i]));
-        }
+        for (const std::size_t a : by_home[t])
+            switches_[t]->setRoute(adapters_[a]->id(),
+                                   adapterHome_[a].second);
     }
 }
 

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,26 @@
 #include "sim/Simulation.hh"
 
 namespace san::net {
+
+/**
+ * Equal-cost tie-breaking rule of computeRoutes(). Both rules are
+ * deterministic; they differ in how multipath topologies (fat-tree,
+ * dragonfly) spread destinations over their redundant shortest paths.
+ */
+enum class RouteSpread {
+    /** Always take the lowest-numbered output port among the
+     * shortest-path candidates. Single-path topologies (chains,
+     * trees) are unaffected; on a multipath fabric every destination
+     * funnels through the same uplinks. The default, and the rule
+     * the tie-break determinism test pins. */
+    LowestPort,
+    /** ECMP-style: candidate ports sorted ascending, destination d
+     * takes candidate d mod #candidates. Deterministic per (switch,
+     * destination) and independent of wiring order; the topology
+     * builders use it so a fat-tree actually load-balances its core.
+     */
+    DestinationMod,
+};
 
 /**
  * A complete SAN: the container for every network component of one
@@ -45,6 +66,9 @@ class Fabric
         S &ref = *sw;
         switchAdj_.emplace_back(params.ports,
                                 std::pair<int, int>{-1, -1});
+        // Index cached at creation: connect/connectSwitches resolve
+        // a switch in O(1), so wiring an n-switch fabric is linear.
+        switchIndexOf_.emplace(&ref, switches_.size());
         switches_.push_back(std::move(sw));
         return ref;
     }
@@ -59,8 +83,13 @@ class Fabric
     void connectSwitches(Switch &a, unsigned port_a, Switch &b,
                          unsigned port_b);
 
-    /** Populate every switch's routing table (call after wiring). */
-    void computeRoutes();
+    /**
+     * Populate every switch's routing table (call after wiring).
+     * Shortest paths come from a per-anchor BFS; equal-cost ties
+     * break per @p spread. Idempotent: recomputing overwrites every
+     * route with the same values.
+     */
+    void computeRoutes(RouteSpread spread = RouteSpread::LowestPort);
 
     sim::Simulation &sim() { return sim_; }
     const LinkParams &linkParams() const { return linkParams_; }
@@ -96,6 +125,11 @@ class Fabric
     std::vector<std::vector<std::pair<int, int>>> switchAdj_;
     /** Per adapter: (home switch index, port). */
     std::vector<std::pair<int, unsigned>> adapterHome_;
+    /** @{ Creation-time indices: wiring never scans the owner
+     * vectors (a 1k-switch fat-tree builds in linear time). */
+    std::unordered_map<const Switch *, std::size_t> switchIndexOf_;
+    std::unordered_map<const Adapter *, std::size_t> adapterIndexOf_;
+    /** @} */
 };
 
 } // namespace san::net

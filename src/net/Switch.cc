@@ -1,6 +1,5 @@
 #include "net/Switch.hh"
 
-#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <stdexcept>
@@ -82,28 +81,21 @@ Switch::setRoute(NodeId dst, unsigned port)
                                 std::to_string(port) + " beyond " +
                                 std::to_string(ports_.size()) +
                                 " ports");
-    auto it = std::find(routeDst_.begin(), routeDst_.end(), dst);
-    if (it != routeDst_.end()) {
-        routePort_[it - routeDst_.begin()] = port;
-    } else {
-        routeDst_.push_back(dst);
-        routePort_.push_back(port);
-    }
+    routes_.set(dst, port);
 }
 
 bool
 Switch::hasRoute(NodeId dst) const
 {
-    return std::find(routeDst_.begin(), routeDst_.end(), dst) !=
-           routeDst_.end();
+    return routes_.find(dst) != nullptr;
 }
 
 unsigned
 Switch::route(NodeId dst) const
 {
-    auto it = std::find(routeDst_.begin(), routeDst_.end(), dst);
-    assert(it != routeDst_.end() && "no route to destination");
-    return routePort_[it - routeDst_.begin()];
+    const unsigned *port = routes_.find(dst);
+    assert(port != nullptr && "no route to destination");
+    return *port;
 }
 
 void
@@ -138,6 +130,13 @@ Switch::receive(unsigned port, Arrival &&arrival)
             if (a.pkt.dst == id_) {
                 ports_[port].in->returnCredit();
                 ++local_;
+                // Terminal hop: locally-delivered packets get the
+                // same ingress stamp transit cells do, so the final
+                // (handler) hop shows up in the latency lineage.
+                // noteDelivered() closes it.
+                if (a.pkt.telemetry)
+                    a.pkt.telemetry->noteSwitchIngress(id_,
+                                                       sim_.now());
                 deliverLocal(std::move(a));
                 return;
             }

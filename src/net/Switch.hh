@@ -25,6 +25,7 @@
 
 #include "net/Link.hh"
 #include "net/Packet.hh"
+#include "net/RouteTable.hh"
 #include "net/SwitchPolicy.hh"
 #include "sim/Simulation.hh"
 
@@ -73,6 +74,8 @@ class Switch
     /** Look up the output port for @p dst (asserts it exists). */
     unsigned route(NodeId dst) const;
     bool hasRoute(NodeId dst) const;
+    /** Destinations this switch has a route for. */
+    std::size_t routeCount() const { return routes_.size(); }
 
     /**
      * Inject a locally-generated packet (management traffic; the
@@ -125,8 +128,7 @@ class Switch
         Link *in = nullptr;
     };
     std::vector<PortWiring> ports_;
-    std::vector<NodeId> routeDst_;   // parallel arrays: small tables
-    std::vector<unsigned> routePort_;
+    RouteTable routes_; //!< dst -> port, O(1) at any fabric size
 
     /** Built last: policies read params_/ports_ via the switch. */
     std::unique_ptr<QueueingPolicy> policy_;

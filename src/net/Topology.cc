@@ -1,0 +1,84 @@
+#include "net/Topology.hh"
+
+#include <stdexcept>
+
+namespace san::net {
+
+std::size_t
+fatTreeHostCount(unsigned k)
+{
+    return static_cast<std::size_t>(k) * k * k / 4;
+}
+
+std::size_t
+fatTreeSwitchCount(unsigned k)
+{
+    // k pods x (k/2 edge + k/2 agg) + (k/2)^2 cores = 5k^2/4.
+    return static_cast<std::size_t>(k) * k + (static_cast<std::size_t>(k) / 2) * (k / 2);
+}
+
+std::size_t
+fatTreeLinkCount(unsigned k)
+{
+    // Wired pairs: k^3/4 host-edge + k^3/4 edge-agg + k^3/4
+    // agg-core; two unidirectional Links per pair.
+    return 2 * 3 * (static_cast<std::size_t>(k) * k * k / 4);
+}
+
+std::size_t
+dragonflyGroupCount(const DragonflyParams &p)
+{
+    return static_cast<std::size_t>(p.routersPerGroup) *
+               p.globalPerRouter +
+           1;
+}
+
+std::size_t
+dragonflyHostCount(const DragonflyParams &p)
+{
+    return dragonflyGroupCount(p) * p.routersPerGroup *
+           p.hostsPerRouter;
+}
+
+std::size_t
+dragonflySwitchCount(const DragonflyParams &p)
+{
+    return dragonflyGroupCount(p) * p.routersPerGroup;
+}
+
+std::size_t
+dragonflyLinkCount(const DragonflyParams &p)
+{
+    const std::size_t g = dragonflyGroupCount(p);
+    const std::size_t a = p.routersPerGroup;
+    const std::size_t pairs = g * a * p.hostsPerRouter // host-router
+                              + g * (a * (a - 1) / 2)  // local
+                              + g * (g - 1) / 2;       // global
+    return 2 * pairs;
+}
+
+void
+validateFatTree(const FatTreeParams &p)
+{
+    if (p.k < 2 || p.k % 2 != 0)
+        throw std::invalid_argument(
+            "fat-tree arity k must be even and >= 2, got " +
+            std::to_string(p.k));
+}
+
+void
+validateDragonfly(const DragonflyParams &p)
+{
+    if (p.routersPerGroup < 1 || p.hostsPerRouter < 1 ||
+        p.globalPerRouter < 1)
+        throw std::invalid_argument(
+            "dragonfly needs a >= 1, p >= 1, h >= 1, got a=" +
+            std::to_string(p.routersPerGroup) +
+            " p=" + std::to_string(p.hostsPerRouter) +
+            " h=" + std::to_string(p.globalPerRouter));
+    // One global channel per router-slot pair: a*h channels serve
+    // the g-1 = a*h peer groups exactly when the config is balanced.
+    // (Balanced is the only shape the builder wires.)
+}
+
+} // namespace san::net

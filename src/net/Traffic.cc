@@ -188,6 +188,170 @@ TrafficGen::report() const
 }
 
 //
+// ---- FabricTrafficGen ----
+//
+
+FabricTrafficGen::FabricTrafficGen(sim::Simulation &sim,
+                                   std::vector<Adapter *> hosts,
+                                   std::vector<unsigned> hostGroup,
+                                   const FabricTrafficParams &params)
+    : sim_(sim), hosts_(std::move(hosts)),
+      hostGroup_(std::move(hostGroup)), params_(params)
+{
+    assert(hosts_.size() >= 2 &&
+           "fabric traffic needs at least two hosts");
+    if (hostGroup_.empty())
+        hostGroup_.assign(hosts_.size(), 0);
+    assert(hostGroup_.size() == hosts_.size());
+
+    groups_ = 0;
+    for (const unsigned g : hostGroup_)
+        groups_ = std::max(groups_, g + 1);
+    groupMembers_.resize(groups_);
+    groupRank_.resize(hosts_.size());
+    for (unsigned i = 0; i < hosts_.size(); ++i) {
+        groupRank_[i] =
+            static_cast<unsigned>(groupMembers_[hostGroup_[i]].size());
+        groupMembers_[hostGroup_[i]].push_back(i);
+    }
+
+    if (params_.spacing == 0) {
+        const std::uint64_t pkts =
+            (params_.messageBytes + params_.mtu - 1) / params_.mtu;
+        params_.spacing =
+            sim::ns(params_.messageBytes + pkts * headerBytes);
+    }
+}
+
+unsigned
+FabricTrafficGen::destination(unsigned host, unsigned round) const
+{
+    const auto n = static_cast<unsigned>(hosts_.size());
+    const std::uint64_t r = detMix64(
+        params_.seed ^
+        detMix64((static_cast<std::uint64_t>(host) << 32) | round));
+
+    switch (params_.pattern) {
+    case FabricTrafficParams::Pattern::Uniform: {
+        unsigned d = static_cast<unsigned>(r % (n - 1));
+        return d >= host ? d + 1 : d; // skip self
+    }
+    case FabricTrafficParams::Pattern::Permutation: {
+        // round is deliberately unused: the permutation is fixed for
+        // the whole run, the sustained adversarial load.
+        if (groups_ <= 1) {
+            const unsigned off =
+                1 + static_cast<unsigned>(params_.seed % (n - 1));
+            return (host + off) % n;
+        }
+        const unsigned g = hostGroup_[host];
+        const unsigned hop =
+            1 + static_cast<unsigned>(
+                    params_.seed % (groups_ > 1 ? groups_ - 1 : 1));
+        const auto &target = groupMembers_[(g + hop) % groups_];
+        return target[groupRank_[host] % target.size()];
+    }
+    case FabricTrafficParams::Pattern::GroupLocal: {
+        const auto &mem = groupMembers_[hostGroup_[host]];
+        if (mem.size() <= 1) { // degenerate group: fall back
+            unsigned d = static_cast<unsigned>(r % (n - 1));
+            return d >= host ? d + 1 : d;
+        }
+        unsigned idx = static_cast<unsigned>(r % (mem.size() - 1));
+        if (idx >= groupRank_[host])
+            ++idx; // skip self within the group
+        return mem[idx];
+    }
+    }
+    return (host + 1) % n; // unreachable
+}
+
+void
+FabricTrafficGen::post(unsigned host, unsigned round)
+{
+    const unsigned dst = destination(host, round);
+    const std::uint32_t tag = nextTag_++;
+    meta_[tag] = MessageMeta{sim_.now(),
+                             hostGroup_[host] == hostGroup_[dst]};
+    hosts_[host]->sendMessage(hosts_[dst]->id(), params_.messageBytes,
+                              std::nullopt, nullptr, tag);
+    ++posted_;
+}
+
+sim::Task
+FabricTrafficGen::drain(Adapter &host, unsigned expected)
+{
+    for (unsigned i = 0; i < expected; ++i) {
+        Message msg = co_await host.recvQueue().pop();
+        const auto it = meta_.find(msg.tag);
+        if (it == meta_.end())
+            continue; // not ours
+        ++deliveredMessages_;
+        deliveredBytes_ += msg.bytes;
+        lastDeliveryAt_ = std::max(lastDeliveryAt_, msg.completedAt);
+        if (it->second.intraGroup)
+            ++intra_;
+        else
+            ++inter_;
+        const double ns =
+            static_cast<double>(msg.completedAt -
+                                it->second.postedAt) /
+            1e3;
+        latSumNs_ += ns;
+        latMaxNs_ = std::max(latMaxNs_, ns);
+    }
+}
+
+void
+FabricTrafficGen::start()
+{
+    assert(!started_ && "start() is one-shot");
+    started_ = true;
+    firstPostAt_ = sim_.now();
+
+    // The destination map is pure, so per-host delivery expectations
+    // are exact — each drain knows precisely how many messages to
+    // absorb and the run ends when the last one lands.
+    std::vector<unsigned> expected(hosts_.size(), 0);
+    for (unsigned h = 0; h < hosts_.size(); ++h)
+        for (unsigned j = 0; j < params_.messagesPerHost; ++j)
+            ++expected[destination(h, j)];
+
+    for (unsigned h = 0; h < hosts_.size(); ++h)
+        for (unsigned j = 0; j < params_.messagesPerHost; ++j)
+            sim_.events().schedule(
+                firstPostAt_ + j * params_.spacing,
+                [this, h, j] { post(h, j); });
+
+    for (unsigned h = 0; h < hosts_.size(); ++h)
+        if (expected[h] > 0)
+            sim_.spawn(drain(*hosts_[h], expected[h]));
+}
+
+FabricTrafficReport
+FabricTrafficGen::report() const
+{
+    FabricTrafficReport r;
+    r.postedMessages = posted_;
+    r.deliveredMessages = deliveredMessages_;
+    r.deliveredBytes = deliveredBytes_;
+    r.intraGroupMessages = intra_;
+    r.interGroupMessages = inter_;
+    r.firstPostAt = firstPostAt_;
+    r.lastDeliveryAt = lastDeliveryAt_;
+    const auto window =
+        static_cast<double>(lastDeliveryAt_ - firstPostAt_);
+    if (window > 0)
+        r.aggregateGBps =
+            static_cast<double>(deliveredBytes_) * 1e3 / window;
+    if (deliveredMessages_ > 0)
+        r.latencyMeanNs =
+            latSumNs_ / static_cast<double>(deliveredMessages_);
+    r.latencyMaxNs = latMaxNs_;
+    return r;
+}
+
+//
 // ---- FlowChurnGen ----
 //
 

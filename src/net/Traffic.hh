@@ -124,6 +124,125 @@ class TrafficGen
 };
 
 //
+// ---- Fabric-wide traffic (multi-switch topologies) ----
+//
+
+/** splitmix64 finalizer: the deterministic mixer behind the fabric
+ * traffic patterns (and stylistically the same one the run
+ * fingerprint folds with). */
+constexpr std::uint64_t
+detMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Fabric-wide pattern configuration. */
+struct FabricTrafficParams {
+    enum class Pattern {
+        /** Every message picks a fresh pseudo-random destination
+         * (never self) — the benign all-to-all a multipath fabric
+         * should carry near line rate. */
+        Uniform,
+        /** A fixed seeded permutation that always crosses groups:
+         * host i targets the same intra-group rank in group
+         * (g + 1 + seed mod (groups-1)) mod groups. The classic
+         * adversarial pattern — every byte traverses the
+         * aggregation/core (fat-tree) or a single global channel
+         * (dragonfly). */
+        Permutation,
+        /** Pseudo-random destination within the sender's own group
+         * (pod): edge/local-switch traffic that never needs the
+         * upper stages. */
+        GroupLocal,
+    };
+
+    Pattern pattern = Pattern::Uniform;
+    std::uint64_t seed = 1;
+    std::uint32_t messageBytes = 2048;
+    unsigned messagesPerHost = 8;
+    /** Gap between message posts per sender; 0 = one message wire
+     * time at 1 GB/s (each sender offers its full link rate). */
+    sim::Tick spacing = 0;
+    unsigned mtu = defaultMtu;
+};
+
+/** End-of-run fabric traffic summary (all values deterministic). */
+struct FabricTrafficReport {
+    std::uint64_t postedMessages = 0;
+    std::uint64_t deliveredMessages = 0;
+    std::uint64_t deliveredBytes = 0;
+    std::uint64_t intraGroupMessages = 0;
+    std::uint64_t interGroupMessages = 0;
+    sim::Tick firstPostAt = 0;
+    sim::Tick lastDeliveryAt = 0;
+    /** Delivered payload over the whole run window, GB/s. */
+    double aggregateGBps = 0.0;
+    double latencyMeanNs = 0.0;
+    double latencyMaxNs = 0.0;
+};
+
+/**
+ * Drives one fabric-wide pattern over a topology's hosts. The
+ * destination of every (host, message) pair is a pure function of
+ * (pattern, seed, host, message) — see destination() — so runs are
+ * deterministic and tests can pin exact destination sets. Construct
+ * after wiring and computeRoutes(), call start() before
+ * Simulation::run(), and report() after it returns.
+ */
+class FabricTrafficGen
+{
+  public:
+    /** @p hostGroup gives each host's group (pod); pass an empty
+     * vector to treat the fabric as one group. */
+    FabricTrafficGen(sim::Simulation &sim,
+                     std::vector<Adapter *> hosts,
+                     std::vector<unsigned> hostGroup,
+                     const FabricTrafficParams &params);
+
+    /** The host index that host @p host's message @p round targets.
+     * Pure, total, never @p host itself. */
+    unsigned destination(unsigned host, unsigned round) const;
+
+    /** Schedule every send and spawn the receive drains. One-shot. */
+    void start();
+
+    /** Summarize the run (call after Simulation::run()). */
+    FabricTrafficReport report() const;
+
+  private:
+    struct MessageMeta {
+        sim::Tick postedAt = 0;
+        bool intraGroup = false;
+    };
+
+    void post(unsigned host, unsigned round);
+    sim::Task drain(Adapter &host, unsigned expected);
+
+    sim::Simulation &sim_;
+    std::vector<Adapter *> hosts_;
+    std::vector<unsigned> hostGroup_;
+    FabricTrafficParams params_;
+    unsigned groups_ = 1;
+    std::vector<std::vector<unsigned>> groupMembers_;
+    std::vector<unsigned> groupRank_; //!< host -> index in its group
+    std::unordered_map<std::uint32_t, MessageMeta> meta_; //!< by tag
+    std::uint32_t nextTag_ = 1;
+    std::uint64_t posted_ = 0;
+    std::uint64_t deliveredMessages_ = 0;
+    std::uint64_t deliveredBytes_ = 0;
+    std::uint64_t intra_ = 0;
+    std::uint64_t inter_ = 0;
+    sim::Tick firstPostAt_ = 0;
+    sim::Tick lastDeliveryAt_ = 0;
+    double latSumNs_ = 0.0;
+    double latMaxNs_ = 0.0;
+    bool started_ = false;
+};
+
+//
 // ---- Deterministic flow-churn traffic (load-balancer workloads) ----
 //
 

@@ -206,6 +206,13 @@ struct TelemetryRecord {
             return;
         delivered = true;
         deliveredAt = now;
+        // A hop still open at delivery is the terminal hop: the
+        // packet ended inside a switch (handler staging, control
+        // consume) and will never egress, so its residency closes
+        // here. End-host deliveries have no open hop — the last
+        // switch's egress already closed it.
+        if (hopOpen)
+            noteEgress(now);
     }
 
     void noteRetransmit() { ++retransmits; }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "net/Fabric.hh"
@@ -209,6 +210,135 @@ TEST(Switch, SetRouteRejectsOutOfRangePort)
     EXPECT_FALSE(sw.hasRoute(99));
     sw.setRoute(99, 3);
     EXPECT_EQ(sw.route(99), 3u);
+}
+
+TEST(Switch, RouteTableHandlesThousandsOfEntries)
+{
+    // The route table must stay correct (and O(1) per lookup) at
+    // fabric scale: 4096 destinations with sparse, non-contiguous
+    // NodeIds on an 8-port switch.
+    Simulation s;
+    Switch sw(s, "sw", 1, SwitchParams{8});
+    for (NodeId i = 0; i < 4096; ++i)
+        sw.setRoute(i * 7 + 3, static_cast<unsigned>(i % 8));
+    EXPECT_EQ(sw.routeCount(), 4096u);
+    for (NodeId i = 0; i < 4096; ++i) {
+        ASSERT_TRUE(sw.hasRoute(i * 7 + 3));
+        EXPECT_EQ(sw.route(i * 7 + 3), i % 8);
+    }
+    // Absent keys between the installed ones never false-positive.
+    for (NodeId i = 0; i < 4096; ++i)
+        EXPECT_FALSE(sw.hasRoute(i * 7 + 4));
+    // Overwrite is an update, not a duplicate insert.
+    for (NodeId i = 0; i < 4096; i += 2)
+        sw.setRoute(i * 7 + 3, static_cast<unsigned>((i + 1) % 8));
+    EXPECT_EQ(sw.routeCount(), 4096u);
+    for (NodeId i = 0; i < 4096; ++i)
+        EXPECT_EQ(sw.route(i * 7 + 3),
+                  i % 2 == 0 ? (i + 1) % 8 : i % 8);
+}
+
+/** A diamond: two equal-cost two-hop paths between sw0 and sw3, one
+ * host on each end. The smallest topology where tie-breaking
+ * matters. NodeIds: sw0=0, sw1=1, sw2=2, sw3=3, hostA=4, hostD=5. */
+struct DiamondFixture {
+    Simulation s;
+    Fabric fabric{s};
+    Switch *sw0, *sw1, *sw2, *sw3;
+    Adapter *hostA, *hostD;
+
+    DiamondFixture()
+    {
+        sw0 = &fabric.addSwitch(SwitchParams{4});
+        sw1 = &fabric.addSwitch(SwitchParams{4});
+        sw2 = &fabric.addSwitch(SwitchParams{4});
+        sw3 = &fabric.addSwitch(SwitchParams{4});
+        fabric.connectSwitches(*sw0, 2, *sw1, 0);
+        fabric.connectSwitches(*sw0, 3, *sw2, 0);
+        fabric.connectSwitches(*sw1, 1, *sw3, 2);
+        fabric.connectSwitches(*sw2, 1, *sw3, 3);
+        hostA = &fabric.addAdapter("hostA");
+        hostD = &fabric.addAdapter("hostD");
+        fabric.connect(*sw0, 0, *hostA);
+        fabric.connect(*sw3, 0, *hostD);
+    }
+};
+
+TEST(Fabric, TieBreakPicksLowestPortAmongEqualCostPaths)
+{
+    DiamondFixture f;
+    f.fabric.computeRoutes();
+    // sw0 -> hostD: candidates are ports 2 (via sw1) and 3 (via
+    // sw2); lowest wins. Same for the reverse direction on sw3.
+    EXPECT_EQ(f.sw0->route(f.hostD->id()), 2u);
+    EXPECT_EQ(f.sw3->route(f.hostA->id()), 2u);
+    // And it is a pure function of the topology: recomputing picks
+    // the same ports.
+    f.fabric.computeRoutes();
+    EXPECT_EQ(f.sw0->route(f.hostD->id()), 2u);
+    EXPECT_EQ(f.sw3->route(f.hostA->id()), 2u);
+}
+
+TEST(Fabric, DestinationModSpreadsEqualCostPaths)
+{
+    DiamondFixture f;
+    f.fabric.computeRoutes(RouteSpread::DestinationMod);
+    // Candidates ascending are {2, 3}; destination id mod 2 indexes
+    // in. hostD id 5 -> port 3, hostA id 4 -> port 2.
+    EXPECT_EQ(f.sw0->route(f.hostD->id()), 3u);
+    EXPECT_EQ(f.sw3->route(f.hostA->id()), 2u);
+    // Both choices still deliver.
+    f.hostA->sendMessage(f.hostD->id(), 100);
+    f.hostD->sendMessage(f.hostA->id(), 100);
+    f.s.run();
+    EXPECT_EQ(f.hostA->messagesReceived(), 1u);
+    EXPECT_EQ(f.hostD->messagesReceived(), 1u);
+}
+
+TEST(Fabric, ComputeRoutesTwiceIsIdempotent)
+{
+    DiamondFixture f;
+    f.fabric.computeRoutes();
+    std::vector<std::pair<NodeId, unsigned>> before;
+    const std::vector<NodeId> dsts = {f.sw0->id(), f.sw1->id(),
+                                      f.sw2->id(), f.sw3->id(),
+                                      f.hostA->id(), f.hostD->id()};
+    const auto snapshot = [&] {
+        std::vector<std::pair<NodeId, unsigned>> out;
+        for (const auto &sw : f.fabric.switches())
+            for (const NodeId d : dsts)
+                if (sw->hasRoute(d))
+                    out.emplace_back(d, sw->route(d));
+        return out;
+    };
+    const auto first = snapshot();
+    f.fabric.computeRoutes();
+    EXPECT_EQ(snapshot(), first);
+    EXPECT_EQ(f.sw0->routeCount(), 5u); // everyone but itself
+}
+
+TEST(Fabric, DisconnectedSwitchLeavesNoRoute)
+{
+    // Two islands: the diamond, plus an isolated switch with its own
+    // host. computeRoutes must terminate cleanly and simply not
+    // install routes across the partition.
+    DiamondFixture f;
+    Switch &island = f.fabric.addSwitch(SwitchParams{4});
+    Adapter &hostI = f.fabric.addAdapter("hostI");
+    f.fabric.connect(island, 0, hostI);
+    f.fabric.computeRoutes();
+
+    // No path between the islands, in either direction.
+    EXPECT_FALSE(f.sw0->hasRoute(island.id()));
+    EXPECT_FALSE(f.sw0->hasRoute(hostI.id()));
+    EXPECT_FALSE(island.hasRoute(f.hostA->id()));
+    EXPECT_FALSE(island.hasRoute(f.sw0->id()));
+    // Each island still routes internally.
+    EXPECT_TRUE(island.hasRoute(hostI.id()));
+    EXPECT_TRUE(f.sw0->hasRoute(f.hostD->id()));
+    f.hostA->sendMessage(f.hostD->id(), 100);
+    f.s.run();
+    EXPECT_EQ(f.hostD->messagesReceived(), 1u);
 }
 
 TEST(Fabric, TreeTopologyAllPairsReachable)

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Topology-builder and fabric-traffic tests: fat-tree / dragonfly
+ * shapes, all-pairs reachability at scale, and the deterministic
+ * fabric-wide traffic patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "net/Topology.hh"
+#include "net/Traffic.hh"
+#include "sim/Simulation.hh"
+
+namespace {
+
+using namespace san;
+using namespace san::sim;
+using namespace san::net;
+
+TEST(Topology, FatTreeK4CountsAndAllPairsReachability)
+{
+    Simulation s;
+    Fabric fabric(s);
+    const Topology topo = buildFatTree(fabric, FatTreeParams{4});
+
+    EXPECT_EQ(topo.hosts.size(), fatTreeHostCount(4));
+    EXPECT_EQ(topo.hosts.size(), 16u);
+    EXPECT_EQ(topo.switchCount(), fatTreeSwitchCount(4));
+    EXPECT_EQ(topo.switchCount(), 20u);
+    EXPECT_EQ(topo.edge.size(), 8u);
+    EXPECT_EQ(topo.aggregation.size(), 8u);
+    EXPECT_EQ(topo.core.size(), 4u);
+    EXPECT_EQ(fabric.links().size(), fatTreeLinkCount(4));
+    EXPECT_EQ(fabric.links().size(), 96u);
+    EXPECT_EQ(topo.groups, 4u);
+    ASSERT_EQ(topo.hostGroup.size(), topo.hosts.size());
+    // 4 hosts per pod, in creation order.
+    for (unsigned i = 0; i < topo.hosts.size(); ++i)
+        EXPECT_EQ(topo.hostGroup[i], i / 4) << i;
+
+    // Every edge switch routes to every host (15 remote + 1 local
+    // per edge... all 16, plus the other 19 switches).
+    for (const Switch *e : topo.edge)
+        for (const Adapter *h : topo.hosts)
+            EXPECT_TRUE(e->hasRoute(h->id()))
+                << e->name() << " -> " << h->name();
+
+    // All-pairs: every host sends one message to every other.
+    for (auto *from : topo.hosts)
+        for (auto *to : topo.hosts)
+            if (from != to)
+                from->sendMessage(to->id(), 100);
+    s.run();
+    for (auto *h : topo.hosts) {
+        EXPECT_EQ(h->messagesReceived(), 15u) << h->name();
+        EXPECT_EQ(h->bytesReceived(), 1500u) << h->name();
+    }
+}
+
+TEST(Topology, FatTreeK8Counts)
+{
+    Simulation s;
+    Fabric fabric(s);
+    const Topology topo = buildFatTree(fabric, FatTreeParams{8});
+
+    EXPECT_EQ(topo.hosts.size(), fatTreeHostCount(8));
+    EXPECT_EQ(topo.hosts.size(), 128u);
+    EXPECT_EQ(topo.switchCount(), fatTreeSwitchCount(8));
+    EXPECT_EQ(topo.switchCount(), 80u);
+    EXPECT_EQ(fabric.links().size(), fatTreeLinkCount(8));
+    EXPECT_EQ(fabric.links().size(), 768u);
+
+    // Uniform fabric traffic as a reachability smoke at 128 hosts:
+    // every posted message lands.
+    FabricTrafficParams p;
+    p.pattern = FabricTrafficParams::Pattern::Uniform;
+    p.messagesPerHost = 2;
+    p.messageBytes = 256;
+    FabricTrafficGen gen(s, topo.hosts, topo.hostGroup, p);
+    gen.start();
+    s.run();
+    const FabricTrafficReport r = gen.report();
+    EXPECT_EQ(r.postedMessages, 256u);
+    EXPECT_EQ(r.deliveredMessages, 256u);
+    EXPECT_EQ(r.deliveredBytes, 256u * 256u);
+}
+
+TEST(Topology, FatTreeRejectsBadArity)
+{
+    Simulation s;
+    Fabric fabric(s);
+    EXPECT_THROW(buildFatTree(fabric, FatTreeParams{3}),
+                 std::invalid_argument);
+    EXPECT_THROW(buildFatTree(fabric, FatTreeParams{0}),
+                 std::invalid_argument);
+    EXPECT_THROW(buildDragonfly(fabric, DragonflyParams{0, 2, 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(buildDragonfly(fabric, DragonflyParams{2, 0, 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(buildDragonfly(fabric, DragonflyParams{2, 2, 0}),
+                 std::invalid_argument);
+}
+
+TEST(Topology, DragonflyCountsAndAllPairsReachability)
+{
+    // a=2, p=2, h=1: 3 groups of 2 routers, 12 hosts — the smallest
+    // dragonfly with local and global channels both exercised.
+    Simulation s;
+    Fabric fabric(s);
+    const DragonflyParams params{2, 2, 1};
+    const Topology topo = buildDragonfly(fabric, params);
+
+    EXPECT_EQ(dragonflyGroupCount(params), 3u);
+    EXPECT_EQ(topo.groups, 3u);
+    EXPECT_EQ(topo.hosts.size(), dragonflyHostCount(params));
+    EXPECT_EQ(topo.hosts.size(), 12u);
+    EXPECT_EQ(topo.edge.size(), dragonflySwitchCount(params));
+    EXPECT_EQ(topo.edge.size(), 6u);
+    EXPECT_TRUE(topo.aggregation.empty());
+    EXPECT_TRUE(topo.core.empty());
+    // Pairs: 12 host-router + 3 local + 3 global = 18 -> 36 links.
+    EXPECT_EQ(fabric.links().size(), dragonflyLinkCount(params));
+    EXPECT_EQ(fabric.links().size(), 36u);
+
+    for (auto *from : topo.hosts)
+        for (auto *to : topo.hosts)
+            if (from != to)
+                from->sendMessage(to->id(), 100);
+    s.run();
+    for (auto *h : topo.hosts) {
+        EXPECT_EQ(h->messagesReceived(), 11u) << h->name();
+        EXPECT_EQ(h->bytesReceived(), 1100u) << h->name();
+    }
+}
+
+TEST(Topology, DragonflyBenchShapeHas144Hosts)
+{
+    // The bench configuration: a=4, p=4, h=2 -> 9 groups, 36
+    // routers, 144 hosts (>= 128, the acceptance floor).
+    const DragonflyParams params{4, 4, 2};
+    EXPECT_EQ(dragonflyGroupCount(params), 9u);
+    EXPECT_EQ(dragonflySwitchCount(params), 36u);
+    EXPECT_EQ(dragonflyHostCount(params), 144u);
+}
+
+TEST(FabricTraffic, UniformConservesMessagesAndAvoidsSelf)
+{
+    Simulation s;
+    Fabric fabric(s);
+    const Topology topo = buildFatTree(fabric, FatTreeParams{4});
+
+    FabricTrafficParams p;
+    p.pattern = FabricTrafficParams::Pattern::Uniform;
+    p.messagesPerHost = 6;
+    p.messageBytes = 512;
+    p.seed = 42;
+    FabricTrafficGen gen(s, topo.hosts, topo.hostGroup, p);
+    for (unsigned h = 0; h < topo.hosts.size(); ++h)
+        for (unsigned j = 0; j < p.messagesPerHost; ++j) {
+            const unsigned d = gen.destination(h, j);
+            ASSERT_LT(d, topo.hosts.size());
+            EXPECT_NE(d, h);
+            // Pure function: same answer every time.
+            EXPECT_EQ(gen.destination(h, j), d);
+        }
+    gen.start();
+    s.run();
+    const FabricTrafficReport r = gen.report();
+    EXPECT_EQ(r.postedMessages, 16u * 6u);
+    EXPECT_EQ(r.deliveredMessages, r.postedMessages);
+    EXPECT_EQ(r.deliveredBytes, r.postedMessages * 512u);
+    EXPECT_EQ(r.intraGroupMessages + r.interGroupMessages,
+              r.deliveredMessages);
+    EXPECT_GT(r.aggregateGBps, 0.0);
+    EXPECT_GT(r.latencyMeanNs, 0.0);
+}
+
+TEST(FabricTraffic, GroupLocalNeverLeavesThePod)
+{
+    Simulation s;
+    Fabric fabric(s);
+    const Topology topo = buildFatTree(fabric, FatTreeParams{4});
+
+    FabricTrafficParams p;
+    p.pattern = FabricTrafficParams::Pattern::GroupLocal;
+    p.messagesPerHost = 5;
+    FabricTrafficGen gen(s, topo.hosts, topo.hostGroup, p);
+    for (unsigned h = 0; h < topo.hosts.size(); ++h)
+        for (unsigned j = 0; j < p.messagesPerHost; ++j) {
+            const unsigned d = gen.destination(h, j);
+            EXPECT_NE(d, h);
+            EXPECT_EQ(topo.hostGroup[d], topo.hostGroup[h]);
+        }
+    gen.start();
+    s.run();
+    const FabricTrafficReport r = gen.report();
+    EXPECT_EQ(r.deliveredMessages, 16u * 5u);
+    EXPECT_EQ(r.interGroupMessages, 0u);
+    EXPECT_EQ(r.intraGroupMessages, r.deliveredMessages);
+}
+
+TEST(FabricTraffic, PermutationAlwaysCrossesGroups)
+{
+    Simulation s;
+    Fabric fabric(s);
+    const DragonflyParams params{2, 2, 1};
+    const Topology topo = buildDragonfly(fabric, params);
+
+    FabricTrafficParams p;
+    p.pattern = FabricTrafficParams::Pattern::Permutation;
+    p.messagesPerHost = 4;
+    p.seed = 7;
+    FabricTrafficGen gen(s, topo.hosts, topo.hostGroup, p);
+    // A fixed permutation: destination ignores the round, never maps
+    // two senders to one target, and always leaves the group.
+    std::set<unsigned> targets;
+    for (unsigned h = 0; h < topo.hosts.size(); ++h) {
+        const unsigned d = gen.destination(h, 0);
+        EXPECT_EQ(gen.destination(h, 3), d);
+        EXPECT_NE(topo.hostGroup[d], topo.hostGroup[h]);
+        targets.insert(d);
+    }
+    EXPECT_EQ(targets.size(), topo.hosts.size());
+    gen.start();
+    s.run();
+    const FabricTrafficReport r = gen.report();
+    EXPECT_EQ(r.deliveredMessages, 12u * 4u);
+    EXPECT_EQ(r.intraGroupMessages, 0u);
+    EXPECT_EQ(r.interGroupMessages, r.deliveredMessages);
+}
+
+} // namespace
