@@ -16,8 +16,11 @@ int
 main(int argc, char **argv)
 {
     san::apps::MpegParams params;
-    if (san::bench::init(argc, argv).quick)
+    const san::bench::BenchOptions &opts =
+        san::bench::init(argc, argv);
+    if (opts.quick)
         params.fileBytes = 512 * 1024;
+    params.cluster.threads = opts.threads;
     return san::bench::runFigure(
         "Fig 3: MPEG filter", "",
         [&](san::apps::Mode m) { return runMpegFilter(m, params); },

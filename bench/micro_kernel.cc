@@ -1,6 +1,6 @@
 /**
  * @file
- * Event-kernel micro-benchmark, two experiments in one binary.
+ * Event-kernel micro-benchmark, three experiments in one binary.
  *
  * 1. Slot-arena overhaul (PR 4): the kernel against the pre-overhaul
  *    design (std::function entries inside std::priority_queue), on
@@ -24,13 +24,27 @@
  *      far     mostly short, 1/16 jumping +1 ms — adversarial for the
  *              ladder: spill pushes, refills and window rebases
  *
- * Both experiments replay identical schedules through both kernels
+ * 3. Per-hop packet shuffle (PR 10 audit): a real net::Packet moved
+ *    vs copied through the staging -> VOQ -> output queue chain a
+ *    switch hop performs. The production switch-policy queues have
+ *    been move-only since the PR 6 policy lab (every staged_/voq/
+ *    crosspoint Cell transfer in net/SwitchPolicy.cc is std::move),
+ *    so this case does not gate a new optimisation — it documents
+ *    what the move path is worth: a Packet carries two shared_ptr
+ *    fields (payload, telemetry), so the copy variant pays four
+ *    atomic refcount bumps per hop that the move variant skips.
+ *    Both variants run the identical shuffle and must agree on a
+ *    folded sink.
+ *
+ * Experiments 1 and 2 replay identical schedules through both kernels
  * and cross-check a folded sink value, so a determinism divergence
  * fails the bench. Prints a JSON report on stdout (consumed by
- * tools/perf_baseline, schema san-micro-kernel-v2) and human-readable
+ * tools/perf_baseline, schema san-micro-kernel-v3) and human-readable
  * tables on stderr. --min-speedup X gates the PR 4 headline
  * (packet48); --min-ladder-speedup X gates the PR 5 headline
- * (short-horizon mix at 10k pending).
+ * (short-horizon mix at 10k pending). The hop-shuffle ratio is
+ * recorded, not gated: it compares against a hypothetical copy
+ * implementation, not against a previous build.
  *
  * Usage: micro_kernel [--events N] [--min-speedup X]
  *                     [--min-ladder-speedup X]
@@ -41,11 +55,14 @@
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "net/Packet.hh"
 #include "sim/EventQueue.hh"
 #include "sim/Types.hh"
 
@@ -333,6 +350,121 @@ compareDepth(std::uint64_t pending, Mix mix, std::uint64_t events)
                        ladderEps};
 }
 
+/**
+ * One switch hop's worth of queue shuffling on a real net::Packet:
+ * ingress staging, VOQ admission, output drain (the exact chain
+ * net/SwitchPolicy.cc runs per forwarded packet). @p Move selects the
+ * production move path or the hypothetical copy path; both fold the
+ * same sink so a semantic divergence aborts the bench.
+ */
+template <bool Move>
+struct HopShuffle {
+    std::deque<san::net::Packet> staged, voq, outq;
+    std::uint64_t sink = 0;
+
+    static san::net::Packet
+    make(std::uint32_t seq, const san::net::PayloadPtr &payload)
+    {
+        san::net::Packet p;
+        p.src = 1;
+        p.dst = 2;
+        p.payloadBytes = 4096;
+        p.messageId = 7;
+        p.seq = seq;
+        p.messageBytes = 1u << 20;
+        p.payload = payload;
+        // Model a sampled packet: the telemetry shared_ptr is where
+        // the copy path pays its second pair of refcount bumps.
+        p.telemetry = std::make_shared<san::obs::TelemetryRecord>();
+        return p;
+    }
+
+    san::net::Packet
+    take(std::deque<san::net::Packet> &q)
+    {
+        if constexpr (Move) {
+            san::net::Packet p = std::move(q.front());
+            q.pop_front();
+            return p;
+        } else {
+            san::net::Packet p = q.front();
+            q.pop_front();
+            return p;
+        }
+    }
+
+    void
+    put(std::deque<san::net::Packet> &q, san::net::Packet &&p)
+    {
+        if constexpr (Move)
+            q.push_back(std::move(p));
+        else
+            q.push_back(p);
+    }
+
+    /** @p hops total queue transfers over @p inflight packets;
+     * returns hops/sec of process CPU time. */
+    double
+    run(std::uint64_t hops, unsigned inflight)
+    {
+        const auto payload =
+            std::make_shared<const std::vector<std::uint8_t>>(4096);
+        for (unsigned i = 0; i < inflight; ++i)
+            staged.push_back(make(i, payload));
+        const std::clock_t c0 = std::clock();
+        for (std::uint64_t h = 0; h < hops; ++h) {
+            if (!staged.empty()) {
+                put(voq, take(staged));
+            } else if (!voq.empty()) {
+                san::net::Packet p = take(voq);
+                sink += p.seq ^ p.payloadBytes;
+                put(outq, std::move(p));
+            } else {
+                // Recirculate: the drained packet re-enters staging,
+                // as a multi-hop path would present it to the next
+                // switch.
+                put(staged, take(outq));
+            }
+        }
+        const double secs =
+            static_cast<double>(std::clock() - c0) / CLOCKS_PER_SEC;
+        return secs > 0 ? static_cast<double>(hops) / secs : 0.0;
+    }
+};
+
+struct HopResult {
+    double copyHps;
+    double moveHps;
+    double speedup() const { return copyHps > 0 ? moveHps / copyHps : 0; }
+};
+
+HopResult
+compareHopShuffle(std::uint64_t hops)
+{
+    constexpr unsigned kInflight = 512;
+    HopShuffle<false>{}.run(hops / 8, kInflight);
+    HopShuffle<true>{}.run(hops / 8, kInflight);
+    HopResult r{0.0, 0.0};
+    std::uint64_t copySink = 0, moveSink = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+        HopShuffle<false> copy;
+        r.copyHps = std::max(r.copyHps, copy.run(hops, kInflight));
+        copySink = copy.sink;
+        HopShuffle<true> move;
+        r.moveHps = std::max(r.moveHps, move.run(hops, kInflight));
+        moveSink = move.sink;
+    }
+    if (copySink != moveSink) {
+        std::fprintf(stderr,
+                     "FATAL: hop shuffle: copy and move diverged "
+                     "(sink %llu vs %llu)\n",
+                     static_cast<unsigned long long>(copySink),
+                     static_cast<unsigned long long>(moveSink));
+        std::exit(1);
+    }
+    return r;
+}
+
 template <unsigned Pad>
 Result
 compare(const char *name, std::uint64_t events, unsigned pending)
@@ -409,6 +541,8 @@ main(int argc, char **argv)
         if (r.mix == Mix::Short && r.pending == 10'240)
             ladderHeadline = r.speedup();
 
+    const HopResult hop = compareHopShuffle(events);
+
     std::fprintf(stderr, "%-10s %8s %15s %15s %8s\n", "workload",
                  "capture", "legacy ev/s", "kernel ev/s", "speedup");
     for (const Result &r : results)
@@ -422,8 +556,11 @@ main(int argc, char **argv)
                      r.name.c_str(),
                      static_cast<unsigned long long>(r.pending),
                      r.heapEps, r.ladderEps, r.speedup());
+    std::fprintf(stderr,
+                 "%-12s %8s %15.0f %15.0f %7.2fx\n", "hop-shuffle",
+                 "copy/mv", hop.copyHps, hop.moveHps, hop.speedup());
 
-    std::printf("{\n  \"schema\": \"san-micro-kernel-v2\",\n"
+    std::printf("{\n  \"schema\": \"san-micro-kernel-v3\",\n"
                 "  \"events\": %llu,\n  \"workloads\": {\n",
                 static_cast<unsigned long long>(events));
     for (std::size_t i = 0; i < 3; ++i) {
@@ -447,8 +584,11 @@ main(int argc, char **argv)
                     mixName(r.mix), r.heapEps, r.ladderEps,
                     r.speedup(), i + 1 < depthResults.size() ? "," : "");
     }
-    std::printf("  },\n  \"ladder_headline_speedup\": %.4f\n}\n",
-                ladderHeadline);
+    std::printf("  },\n  \"ladder_headline_speedup\": %.4f,\n"
+                "  \"hop_shuffle\": {\"copy_hps\": %.0f, "
+                "\"move_hps\": %.0f, \"speedup\": %.4f}\n}\n",
+                ladderHeadline, hop.copyHps, hop.moveHps,
+                hop.speedup());
 
     if (minSpeedup > 0 && headline < minSpeedup) {
         std::fprintf(stderr,

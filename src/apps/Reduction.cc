@@ -8,6 +8,7 @@
 #include "apps/StreamCommon.hh"
 #include "host/Host.hh"
 #include "net/Fabric.hh"
+#include "obs/Fingerprint.hh"
 #include "sim/Simulation.hh"
 
 namespace san::apps {
@@ -99,7 +100,32 @@ struct ReduceSystem {
         fabric.computeRoutes();
         for (auto *h : hosts)
             h->start();
+
+        // Threaded run: one shard per switch, hosts riding with
+        // their leaf, so only the inter-switch tree cables cross
+        // shards. The partition depends on the topology alone, never
+        // on p.threads, which is what keeps N-thread fingerprints
+        // stable across N. (The demux tasks started above schedule
+        // nothing until traffic arrives, so starting them unsharded
+        // is safe.)
+        if (p.threads > 1) {
+            plan = fabric.planShards(switches.size());
+            fabric.applyShardPlan(plan);
+            if (obs::Telemetry *tel = obs::globalTelemetry())
+                tel->enableShards(plan.shards);
+        }
     }
+
+    /** Shard of host @p n's logical process (0 when unsharded). */
+    std::size_t
+    hostShard(unsigned n)
+    {
+        if (!sim.sharded())
+            return 0;
+        return plan.adapterShard[fabric.adapterIndex(hosts[n]->hca())];
+    }
+
+    net::ShardPlan plan;
 
     ~ReduceSystem()
     {
@@ -162,6 +188,13 @@ runReduction(bool active, ReduceKind kind, const ReductionParams &p)
     // What each host ends up holding.
     auto results = std::make_shared<std::vector<Vec>>(p.nodes);
 
+    obs::RunFingerprint fp;
+    obs::ShardedFingerprint sharded_fp;
+    if (p.threads > 1)
+        sharded_fp.attach(sys.sim);
+    else
+        sys.sim.events().setObserver(&fp);
+
     if (!active) {
         // ---- Binomial (MST) software reduction -------------------
         unsigned rounds = 0;
@@ -169,6 +202,7 @@ runReduction(bool active, ReduceKind kind, const ReductionParams &p)
             ++rounds;
 
         for (unsigned n = 0; n < p.nodes; ++n) {
+            sim::ShardGuard guard(sys.sim, sys.hostShard(n));
             sys.sim.spawn([](ReduceSystem &s, const ReductionParams &pp,
                              unsigned self, unsigned n_rounds,
                              ReduceKind k,
@@ -402,6 +436,7 @@ runReduction(bool active, ReduceKind kind, const ReductionParams &p)
 
         // Hosts: fire the vector, then await the result/segment.
         for (unsigned n = 0; n < p.nodes; ++n) {
+            sim::ShardGuard guard(sys.sim, sys.hostShard(n));
             sys.sim.spawn(
                 [](ReduceSystem &s, const ReductionParams &pp,
                    unsigned self, ReduceKind k,
@@ -432,7 +467,8 @@ runReduction(bool active, ReduceKind kind, const ReductionParams &p)
         }
     }
 
-    const sim::Tick end = sys.sim.run();
+    const sim::Tick end =
+        p.threads > 1 ? sys.sim.runSharded(p.threads) : sys.sim.run();
 
     // ---- Verify against the sequential reference ------------------
     bool correct = true;
@@ -455,6 +491,9 @@ runReduction(bool active, ReduceKind kind, const ReductionParams &p)
     run.latency = end;
     run.correct = correct;
     run.checksum = vecChecksum(assembled);
+    run.fingerprint = p.threads > 1 ? sharded_fp.value() : fp.value();
+    run.events = p.threads > 1 ? sharded_fp.eventsFolded()
+                               : fp.eventsFolded();
     return run;
 }
 

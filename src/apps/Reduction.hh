@@ -46,6 +46,13 @@ struct ReductionParams {
     unsigned switchPorts = 16;
     unsigned hostsPerLeaf = 8;      //!< half the ports, as in paper
     std::uint64_t seed = 31;
+    /**
+     * Worker threads. 1 = historical single-queue kernel. >1 shards
+     * the system per-switch (hosts follow their leaf) under the
+     * conservative PDES kernel; results and checksums are identical,
+     * fingerprints are stable across thread counts (DESIGN.md §14).
+     */
+    unsigned threads = 1;
 
     /** @{ Cost model. */
     /**
@@ -75,6 +82,10 @@ struct ReductionRun {
     sim::Tick latency = 0;
     bool correct = false;      //!< result equals sequential reference
     std::string checksum;      //!< first/last elements of the result
+    /** Event-stream digest: the single-queue RunFingerprint at
+     *  threads == 1, the deterministic per-shard merge otherwise. */
+    std::uint64_t fingerprint = 0;
+    std::uint64_t events = 0;  //!< events executed
 };
 
 /** Run one reduction. @p active selects switch-based reduction. */

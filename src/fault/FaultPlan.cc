@@ -192,7 +192,8 @@ FaultPlan::addSpec(const FaultSpec &spec)
 void
 FaultPlan::addEvent(FaultEvent event)
 {
-    pendingKinds_ |= kindBit(event.kind);
+    pendingKinds_.fetch_or(kindBit(event.kind),
+                           std::memory_order_relaxed);
     events_.push_back(std::move(event));
 }
 
@@ -244,10 +245,15 @@ FaultPlan::eventDue(FaultKind kind, const std::string &target,
     bool still_pending = false;
     bool fired = false;
     for (FaultEvent &ev : events_) {
-        if (ev.kind != kind || ev.consumed)
+        // consumed is written only by the shard owning ev.target;
+        // relaxed cross-shard reads at worst see a stale false and
+        // rescan (FaultPlan.hh).
+        std::atomic_ref<bool> consumed(ev.consumed);
+        if (ev.kind != kind ||
+            consumed.load(std::memory_order_relaxed))
             continue;
         if (!fired && ev.target == target && now >= ev.at) {
-            ev.consumed = true;
+            consumed.store(true, std::memory_order_relaxed);
             fired = true;
             countInjection(kind);
             continue;
@@ -255,7 +261,8 @@ FaultPlan::eventDue(FaultKind kind, const std::string &target,
         still_pending = true;
     }
     if (!still_pending)
-        pendingKinds_ &= ~kindBit(kind);
+        pendingKinds_.fetch_and(~kindBit(kind),
+                                std::memory_order_relaxed);
     return fired;
 }
 
@@ -270,9 +277,13 @@ FaultPlan::describe() const
             oss << " seed " << spec.seed;
         oss << '\n';
     }
-    for (const FaultEvent &ev : events_)
+    for (const FaultEvent &ev : events_) {
+        const bool consumed =
+            std::atomic_ref<bool>(const_cast<bool &>(ev.consumed))
+                .load(std::memory_order_relaxed);
         oss << "at " << ev.at << " " << faultKindName(ev.kind) << " -> "
-            << ev.target << (ev.consumed ? " (consumed)" : "") << '\n';
+            << ev.target << (consumed ? " (consumed)" : "") << '\n';
+    }
     return oss.str();
 }
 

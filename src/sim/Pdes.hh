@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Conservative parallel-DES (PDES) runtime: shard-local event queues
+ * synchronized by a barrier window derived from link latency.
+ *
+ * Model
+ * -----
+ * The component graph is partitioned into S logical-process *shards*
+ * (net::ShardPlan decides the cut; switches and adapters are the
+ * units). Each shard owns a full ladder EventQueue and executes its
+ * events on exactly one worker thread (shard s runs on worker
+ * s % W, so a shard never migrates between threads). Cross-shard
+ * interactions — packet arrivals and credit returns on boundary
+ * links — become timestamped messages posted into per-(src, dst)
+ * channels and delivered at the next synchronization point.
+ *
+ * Synchronization is a barrier window (bounded-lag / YAWNS style):
+ *
+ *   round k:  floor_k   = min over shards of next-event tick,
+ *                         and over all undelivered message stamps
+ *             horizon_k = floor_k + L   (saturating)
+ *             every shard executes events with tick < horizon_k
+ *
+ * where L, the *lookahead*, is the minimum propagation latency over
+ * all boundary links. Safety: any event executed in round k has
+ * tick >= floor_k, so a cross-shard message it emits is stamped at
+ * least floor_k + L = horizon_k and cannot affect this round —
+ * delivering it at the round k+1 barrier never violates executed
+ * history. horizon_k > floor_k guarantees at least one event runs
+ * per round, so the loop always terminates.
+ *
+ * Determinism
+ * -----------
+ * S and the partition depend only on the topology — never on the
+ * thread count W. The round sequence (floor_0, floor_1, ...) is a
+ * pure function of simulation state, and within a round each shard
+ * executes its own queue in the usual (tick, seq) order with
+ * messages delivered in (src shard, post order) order. Worker
+ * threads therefore only decide *which OS thread* runs a shard, not
+ * *what* it computes: per-shard event streams — and everything
+ * folded from them — are bit-identical across W and across repeat
+ * runs. See DESIGN.md §14.
+ *
+ * Channels are double-buffered plain vectors: workers append to the
+ * staging side during the execute phase (each (src, dst) cell is
+ * written only by src's worker), and the barrier's completion step —
+ * which runs exactly once, on one thread, with every worker parked —
+ * swaps staging into the ready side. The barrier provides all
+ * happens-before edges, so the hot path takes no locks.
+ */
+
+#ifndef SAN_SIM_PDES_HH
+#define SAN_SIM_PDES_HH
+
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/EventQueue.hh"
+#include "sim/Task.hh"
+#include "sim/Tracer.hh"
+#include "sim/Types.hh"
+
+namespace san::sim {
+
+class Simulation;
+
+namespace pdes {
+
+namespace detail {
+
+/**
+ * Thread-local shard context. While a worker executes shard s of a
+ * sharded simulation (or build code runs under a ShardGuard), this
+ * names the owning Simulation, the shard index, its queue, and its
+ * trace buffer; Simulation::events()/now()/tracer() consult it so
+ * component code is shard-oblivious. Unsharded runs never set it,
+ * so the single-thread path pays one pointer compare.
+ */
+struct ShardTls {
+    const void *owner = nullptr;
+    std::size_t shard = 0;
+    EventQueue *queue = nullptr;
+    Tracer *tracer = nullptr;
+};
+
+inline ShardTls &
+tls()
+{
+    thread_local ShardTls t;
+    return t;
+}
+
+} // namespace detail
+
+/**
+ * The shard index the calling thread is currently executing, or
+ * SIZE_MAX when outside any sharded run. Shard-safe singletons
+ * (obs::Telemetry's per-shard slices) key their thread-local state
+ * on this.
+ */
+inline std::size_t
+currentShard()
+{
+    const auto &t = detail::tls();
+    return t.owner != nullptr ? t.shard : SIZE_MAX;
+}
+
+/** floor + lookahead without wrapping past the end of time. */
+inline Tick
+saturatingAdd(Tick a, Tick b)
+{
+    return a > maxTick - b ? maxTick : a + b;
+}
+
+/**
+ * Per-shard trace sink: records every call and replays it into the
+ * real exporter after the run, one shard at a time, so a non
+ * thread-safe tracer (obs::ChromeTracer writes a FILE*) never sees
+ * two shards at once. Replay order is deterministic (shard id, then
+ * emission order); the exporter sorts by timestamp anyway.
+ */
+class BufferingTracer : public Tracer
+{
+  public:
+    void
+    span(const std::string &track, const char *name, Tick start,
+         Tick end) override
+    {
+        recs_.push_back({Kind::Span, track, name, start, end, 0, 0.0});
+    }
+
+    void
+    instant(const std::string &track, const char *name, Tick at) override
+    {
+        recs_.push_back({Kind::Instant, track, name, at, 0, 0, 0.0});
+    }
+
+    void
+    asyncBegin(const std::string &track, const char *name,
+               std::uint64_t id, Tick at) override
+    {
+        recs_.push_back({Kind::AsyncBegin, track, name, at, 0, id, 0.0});
+    }
+
+    void
+    asyncEnd(const std::string &track, const char *name,
+             std::uint64_t id, Tick at) override
+    {
+        recs_.push_back({Kind::AsyncEnd, track, name, at, 0, id, 0.0});
+    }
+
+    void
+    counter(const std::string &track, const char *name, Tick at,
+            double value) override
+    {
+        recs_.push_back({Kind::Counter, track, name, at, 0, 0, value});
+    }
+
+    void
+    flowBegin(const std::string &track, const char *name,
+              std::uint64_t id, Tick at) override
+    {
+        recs_.push_back({Kind::FlowBegin, track, name, at, 0, id, 0.0});
+    }
+
+    void
+    flowStep(const std::string &track, const char *name,
+             std::uint64_t id, Tick at) override
+    {
+        recs_.push_back({Kind::FlowStep, track, name, at, 0, id, 0.0});
+    }
+
+    void
+    flowEnd(const std::string &track, const char *name,
+            std::uint64_t id, Tick at) override
+    {
+        recs_.push_back({Kind::FlowEnd, track, name, at, 0, id, 0.0});
+    }
+
+    void
+    replayTo(Tracer &out) const
+    {
+        for (const auto &r : recs_) {
+            switch (r.kind) {
+              case Kind::Span:
+                out.span(r.track, r.name, r.a, r.b);
+                break;
+              case Kind::Instant:
+                out.instant(r.track, r.name, r.a);
+                break;
+              case Kind::AsyncBegin:
+                out.asyncBegin(r.track, r.name, r.id, r.a);
+                break;
+              case Kind::AsyncEnd:
+                out.asyncEnd(r.track, r.name, r.id, r.a);
+                break;
+              case Kind::Counter:
+                out.counter(r.track, r.name, r.a, r.value);
+                break;
+              case Kind::FlowBegin:
+                out.flowBegin(r.track, r.name, r.id, r.a);
+                break;
+              case Kind::FlowStep:
+                out.flowStep(r.track, r.name, r.id, r.a);
+                break;
+              case Kind::FlowEnd:
+                out.flowEnd(r.track, r.name, r.id, r.a);
+                break;
+            }
+        }
+    }
+
+    std::size_t recorded() const { return recs_.size(); }
+
+  private:
+    enum class Kind : std::uint8_t {
+        Span,
+        Instant,
+        AsyncBegin,
+        AsyncEnd,
+        Counter,
+        FlowBegin,
+        FlowStep,
+        FlowEnd,
+    };
+    struct Rec {
+        Kind kind;
+        std::string track;
+        const char *name; // trace names are string literals by contract
+        Tick a;
+        Tick b;
+        std::uint64_t id;
+        double value;
+    };
+    std::vector<Rec> recs_;
+};
+
+/**
+ * The sharded runtime: S event queues, the (src, dst) message
+ * channels, per-shard task registries and trace buffers, and the
+ * barrier-window run loop. Owned by Simulation once sharding is
+ * enabled; Simulation remains the only public entry point.
+ */
+class ShardSet
+{
+  public:
+    /** A timestamped cross-shard message (cold path: one per
+     *  boundary-link flit, not per event). */
+    struct CrossMsg {
+        Tick when;
+        std::function<void()> fn;
+    };
+
+    ShardSet(const void *owner, std::size_t shards, Tick lookahead)
+        : owner_(owner), shards_(shards), lookahead_(lookahead),
+          staging_(shards * shards), ready_(shards * shards),
+          tasks_(shards)
+    {
+        assert(shards >= 1);
+        assert(lookahead >= 1 && "zero lookahead would livelock");
+        queues_.reserve(shards);
+        for (std::size_t s = 0; s < shards; ++s)
+            queues_.push_back(std::make_unique<EventQueue>());
+    }
+
+    std::size_t shards() const { return shards_; }
+    Tick lookahead() const { return lookahead_; }
+    const void *owner() const { return owner_; }
+
+    EventQueue &queue(std::size_t s) { return *queues_.at(s); }
+    std::list<Task> &taskList(std::size_t s) { return tasks_.at(s); }
+
+    /** Lazily create per-shard trace buffers (idempotent). */
+    void
+    enableTracing()
+    {
+        if (!tracers_.empty())
+            return;
+        tracers_.reserve(shards_);
+        for (std::size_t s = 0; s < shards_; ++s)
+            tracers_.push_back(std::make_unique<BufferingTracer>());
+    }
+
+    Tracer *
+    tracerFor(std::size_t s)
+    {
+        return tracers_.empty() ? nullptr : tracers_[s].get();
+    }
+
+    /** Replay every shard's buffered trace into @p out, in shard
+     *  order (called once, after the run, single-threaded). */
+    void
+    replayTraces(Tracer &out)
+    {
+        for (auto &t : tracers_) {
+            t->replayTo(out);
+            *t = BufferingTracer();
+        }
+    }
+
+    /**
+     * Post a message to @p dst, executing @p fn at @p when on the
+     * destination shard. Must be called from shard context (worker
+     * thread or ShardGuard); the source shard is implicit. The stamp
+     * must respect the lookahead contract: when >= caller now + L
+     * for true cross-shard traffic.
+     */
+    void
+    post(std::size_t dst, Tick when, std::function<void()> fn)
+    {
+        const auto &t = detail::tls();
+        assert(t.owner == owner_ &&
+               "cross-shard post outside shard context");
+        assert(dst < shards_);
+        staging_[t.shard * shards_ + dst].push_back(
+            {when, std::move(fn)});
+    }
+
+    /** Total events executed across all shard queues. */
+    std::uint64_t
+    executedEvents() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &q : queues_)
+            n += q->executedEvents();
+        return n;
+    }
+
+    /**
+     * Run every shard to completion on @p threads workers (clamped
+     * to S). Returns the final simulated time: the maximum over the
+     * shard clocks. Worker exceptions and task errors are rethrown
+     * on the calling thread after all workers have joined.
+     */
+    Tick
+    run(std::size_t threads)
+    {
+        const std::size_t W =
+            std::max<std::size_t>(1, std::min(threads, shards_));
+        done_ = false;
+        failed_.store(false, std::memory_order_relaxed);
+
+        std::barrier bar(static_cast<std::ptrdiff_t>(W),
+                         [this]() noexcept { roundBoundary(); });
+
+        std::vector<std::thread> extra;
+        extra.reserve(W - 1);
+        for (std::size_t w = 1; w < W; ++w)
+            extra.emplace_back([this, w, W, &bar] {
+                workerLoop(w, W, bar);
+            });
+        workerLoop(0, W, bar);
+        for (auto &th : extra)
+            th.join();
+
+        if (error_) {
+            std::exception_ptr e = error_;
+            error_ = nullptr;
+            std::rethrow_exception(e);
+        }
+
+        Tick end = 0;
+        for (const auto &q : queues_)
+            end = std::max(end, q->now());
+        return end;
+    }
+
+    /** Reap finished tasks from every shard registry, rethrowing the
+     *  first task error (called quiescent, after run()). */
+    void
+    reapAll()
+    {
+        for (auto &list : tasks_) {
+            for (auto it = list.begin(); it != list.end();) {
+                if (it->done()) {
+                    if (it->handle().promise().error)
+                        std::rethrow_exception(
+                            it->handle().promise().error);
+                    it = list.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+
+    std::size_t
+    liveTasks() const
+    {
+        std::size_t n = 0;
+        for (const auto &list : tasks_)
+            for (const auto &t : list)
+                if (!t.done())
+                    ++n;
+        return n;
+    }
+
+  private:
+    /**
+     * The barrier completion step: runs exactly once per round, on
+     * exactly one thread, while every worker is parked at the
+     * barrier — the quiescent point where cross-shard state may be
+     * touched without locks.
+     */
+    void
+    roundBoundary() noexcept
+    {
+        // Publish staged messages. The ready side was fully drained
+        // by the previous execute phase, so swap leaves staging
+        // empty for the next one.
+        for (std::size_t i = 0; i < staging_.size(); ++i) {
+            assert(ready_[i].empty());
+            ready_[i].swap(staging_[i]);
+        }
+
+        Tick floor = maxTick;
+        for (const auto &q : queues_)
+            floor = std::min(floor, q->nextEventTick());
+        for (const auto &ch : ready_)
+            for (const auto &m : ch)
+                floor = std::min(floor, m.when);
+
+        if (floor == maxTick ||
+            failed_.load(std::memory_order_relaxed)) {
+            done_ = true;
+            return;
+        }
+        horizon_ = saturatingAdd(floor, lookahead_);
+    }
+
+    template <typename Barrier>
+    void
+    workerLoop(std::size_t w, std::size_t W, Barrier &bar)
+    {
+        for (;;) {
+            bar.arrive_and_wait();
+            if (done_)
+                return;
+            try {
+                for (std::size_t s = w; s < shards_; s += W)
+                    executeShard(s);
+            } catch (...) {
+                std::lock_guard lock(errorMu_);
+                if (!error_)
+                    error_ = std::current_exception();
+                failed_.store(true, std::memory_order_relaxed);
+            }
+            leaveShard();
+        }
+    }
+
+    void
+    executeShard(std::size_t s)
+    {
+        auto &t = detail::tls();
+        t.owner = owner_;
+        t.shard = s;
+        t.queue = queues_[s].get();
+        t.tracer = tracerFor(s);
+
+        // Deliver this round's messages in deterministic order:
+        // source shard ascending, post order within a source. The
+        // queue's own seq numbering then fixes execution order.
+        for (std::size_t src = 0; src < shards_; ++src) {
+            auto &ch = ready_[src * shards_ + s];
+            for (auto &m : ch)
+                queues_[s]->schedule(m.when, std::move(m.fn));
+            ch.clear();
+        }
+        queues_[s]->runUntilBefore(horizon_);
+    }
+
+    void
+    leaveShard()
+    {
+        detail::tls() = detail::ShardTls{};
+    }
+
+    const void *owner_;
+    std::size_t shards_;
+    Tick lookahead_;
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    // Channel matrices, indexed [src * S + dst]. staging_ is written
+    // by workers during execute; ready_ is consumed by workers and
+    // refilled only at the barrier.
+    std::vector<std::vector<CrossMsg>> staging_;
+    std::vector<std::vector<CrossMsg>> ready_;
+    std::vector<std::list<Task>> tasks_;
+    std::vector<std::unique_ptr<BufferingTracer>> tracers_;
+
+    // Round state: written in the completion step / under errorMu_,
+    // read by workers after the barrier (which supplies the
+    // happens-before edges).
+    Tick horizon_ = 0;
+    bool done_ = false;
+    std::atomic<bool> failed_{false};
+    std::exception_ptr error_;
+    std::mutex errorMu_;
+};
+
+/**
+ * RAII shard context for build/spawn code on the main thread: while
+ * alive, Simulation::events() of the guarded simulation resolves to
+ * the shard's queue, so tasks spawned under the guard schedule their
+ * first events — and post their cross-shard messages — as that
+ * shard. No-op when the simulation is unsharded, so call sites can
+ * guard unconditionally.
+ */
+class ShardGuard
+{
+  public:
+    ShardGuard(const void *owner, ShardSet *set, std::size_t shard)
+        : saved_(detail::tls())
+    {
+        if (set == nullptr)
+            return;
+        assert(shard < set->shards());
+        detail::tls() = {owner, shard, &set->queue(shard),
+                         set->tracerFor(shard)};
+    }
+
+    ShardGuard(const ShardGuard &) = delete;
+    ShardGuard &operator=(const ShardGuard &) = delete;
+
+    ~ShardGuard() { detail::tls() = saved_; }
+
+  private:
+    detail::ShardTls saved_;
+};
+
+} // namespace pdes
+
+} // namespace san::sim
+
+#endif // SAN_SIM_PDES_HH
